@@ -1,0 +1,552 @@
+// Benchmarks regenerating the paper's evaluation, one per figure (see
+// DESIGN.md §4 and EXPERIMENTS.md). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The full parameter sweeps with mean±σ tables live in cmd/davix-bench;
+// these testing.B entries measure the same workloads at benchmark-friendly
+// sizes and let `go test -bench` regenerate every figure's comparison.
+package davix
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"godavix/internal/bench"
+	"godavix/internal/core"
+	"godavix/internal/httpserv"
+	"godavix/internal/metalink"
+	"godavix/internal/netsim"
+	"godavix/internal/pool"
+	"godavix/internal/rangev"
+	"godavix/internal/rootio"
+	"godavix/internal/storage"
+	"godavix/internal/wire"
+	"godavix/internal/xrootd"
+)
+
+// benchSpec is the dataset used by the Figure 4 benchmarks: the paper's
+// 12000 events at reduced payload size (see DESIGN.md substitutions).
+var benchSpec = rootio.SynthSpec{Events: 3000, Branches: 8, MeanPayload: 48, Seed: 1}
+
+const benchWindow = 500
+
+// BenchmarkFig4AnalysisJob reproduces Figure 4: the ROOT-style analysis
+// job over each link class, davix/HTTP vs the XRootD-like baseline.
+func BenchmarkFig4AnalysisJob(b *testing.B) {
+	for _, prof := range []netsim.Profile{netsim.LAN(), netsim.PAN(), netsim.WAN()} {
+		env, err := bench.NewEnv(prof, httpserv.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := env.InstallDataset(bench.DatasetPath, benchSpec); err != nil {
+			b.Fatal(err)
+		}
+
+		b.Run(prof.Name+"/HTTP", func(b *testing.B) {
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				client, err := env.NewHTTPClient(core.Options{Strategy: core.StrategyNone})
+				if err != nil {
+					b.Fatal(err)
+				}
+				f, err := env.OpenHTTP(ctx, client, bench.DatasetPath)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := bench.RunAnalysis(bench.HTTPSource(f), 1.0, benchWindow, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				client.Close()
+				b.ReportMetric(float64(res.Fills), "fills/op")
+			}
+		})
+		b.Run(prof.Name+"/XRootD", func(b *testing.B) {
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				client := env.NewXrdClient()
+				f, err := env.OpenXrd(ctx, client, bench.DatasetPath)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := bench.RunAnalysis(bench.XrdSource(ctx, f), 1.0, benchWindow, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				client.Close()
+				b.ReportMetric(float64(res.Fills), "fills/op")
+			}
+		})
+		env.Close()
+	}
+}
+
+// BenchmarkFig4FractionSweep covers the paper's "a fraction or the
+// totality" wording: 10%, 50% and 100% of the events over the WAN.
+func BenchmarkFig4FractionSweep(b *testing.B) {
+	env, err := bench.NewEnv(netsim.WAN(), httpserv.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	if _, err := env.InstallDataset(bench.DatasetPath, benchSpec); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, fraction := range []float64{0.1, 0.5, 1.0} {
+		b.Run(fmt.Sprintf("HTTP/%.0f%%", fraction*100), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				client, err := env.NewHTTPClient(core.Options{Strategy: core.StrategyNone})
+				if err != nil {
+					b.Fatal(err)
+				}
+				f, err := env.OpenHTTP(ctx, client, bench.DatasetPath)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := bench.RunAnalysis(bench.HTTPSource(f), fraction, benchWindow, nil); err != nil {
+					b.Fatal(err)
+				}
+				client.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkFig1Pipelining measures the head-of-line blocking of Figure 1:
+// a slow request followed by fast ones, under strict pipelining versus the
+// davix pooled dispatch.
+func BenchmarkFig1Pipelining(b *testing.B) {
+	const nFast = 8
+	slow := 10 * time.Millisecond
+	setup := func(b *testing.B) *bench.Env {
+		env, err := bench.NewEnv(netsim.PAN(), httpserv.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		payload := make([]byte, 1024)
+		env.Store.Put("/slow", payload)
+		for i := 0; i < nFast; i++ {
+			env.Store.Put(fmt.Sprintf("/obj%d", i), payload)
+		}
+		env.HTTPServer.SetFault("/slow", httpserv.Fault{Delay: slow})
+		return env
+	}
+
+	b.Run("pipelined", func(b *testing.B) {
+		env := setup(b)
+		defer env.Close()
+		for i := 0; i < b.N; i++ {
+			conn, err := env.Net.Dial(bench.HTTPAddr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range append([]string{"/slow"}, objPaths(nFast)...) {
+				if err := wire.NewRequest("GET", bench.HTTPAddr, p).Write(conn); err != nil {
+					b.Fatal(err)
+				}
+			}
+			br := bufio.NewReader(conn)
+			for j := 0; j < nFast+1; j++ {
+				resp, err := wire.ReadResponse(br, "GET")
+				if err != nil {
+					b.Fatal(err)
+				}
+				resp.Discard()
+			}
+			conn.Close()
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		env := setup(b)
+		defer env.Close()
+		client, err := env.NewHTTPClient(core.Options{Strategy: core.StrategyNone})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer client.Close()
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			done := make(chan error, nFast+1)
+			go func() {
+				_, err := client.Get(ctx, bench.HTTPAddr, "/slow")
+				done <- err
+			}()
+			for _, p := range objPaths(nFast) {
+				go func(p string) {
+					_, err := client.Get(ctx, bench.HTTPAddr, p)
+					done <- err
+				}(p)
+			}
+			for j := 0; j < nFast+1; j++ {
+				if err := <-done; err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func objPaths(n int) []string {
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/obj%d", i)
+	}
+	return paths
+}
+
+// BenchmarkFig2SessionRecycling measures Figure 2: sequential requests on
+// a recycled KeepAlive session versus a fresh connection per request.
+func BenchmarkFig2SessionRecycling(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		keepAlive bool
+	}{{"recycled", true}, {"per-request", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			env, err := bench.NewEnv(netsim.PAN(), httpserv.Options{DisableKeepAlive: !mode.keepAlive})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer env.Close()
+			env.Store.Put("/obj", make([]byte, 16<<10))
+			client, err := env.NewHTTPClient(core.Options{Strategy: core.StrategyNone})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Get(ctx, bench.HTTPAddr, "/obj"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3VectoredIO measures Figure 3: K scattered fragment reads as
+// individual ranged GETs, one davix multi-range request, and one xrootd
+// readv.
+func BenchmarkFig3VectoredIO(b *testing.B) {
+	blob := make([]byte, 4<<20)
+	rand.New(rand.NewSource(1)).Read(blob)
+	for _, k := range []int{16, 128} {
+		env, err := bench.NewEnv(netsim.PAN(), httpserv.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		env.Store.Put("/blob", blob)
+		ranges := make([]rangev.Range, k)
+		dsts := make([][]byte, k)
+		rng := rand.New(rand.NewSource(int64(k)))
+		for i := range ranges {
+			ranges[i] = rangev.Range{Off: rng.Int63n(int64(len(blob) - 256)), Len: 256}
+			dsts[i] = make([]byte, 256)
+		}
+		ctx := context.Background()
+
+		b.Run(fmt.Sprintf("individual/K=%d", k), func(b *testing.B) {
+			client, err := env.NewHTTPClient(core.Options{Strategy: core.StrategyNone})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, r := range ranges {
+					if _, err := client.GetRange(ctx, bench.HTTPAddr, "/blob", r.Off, r.Len); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("vectored/K=%d", k), func(b *testing.B) {
+			client, err := env.NewHTTPClient(core.Options{Strategy: core.StrategyNone})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := client.ReadVec(ctx, bench.HTTPAddr, "/blob", ranges, dsts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("xrootd-readv/K=%d", k), func(b *testing.B) {
+			client := env.NewXrdClient()
+			defer client.Close()
+			f, err := client.Open(ctx, "/blob")
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := bench.XrdSource(ctx, f)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := src.ReadVec(ranges, dsts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		env.Close()
+	}
+}
+
+// BenchmarkMetalinkFailover measures the §2.4 failover cost: reads with a
+// healthy primary versus reads that must fail over to a second replica.
+func BenchmarkMetalinkFailover(b *testing.B) {
+	run := func(b *testing.B, killPrimary bool) {
+		n := netsim.New(netsim.PAN())
+		blob := make([]byte, 64<<10)
+		for _, addr := range []string{"dpm1:80", "dpm2:80"} {
+			st := newStoreWith(b, "/f", blob)
+			srv := httpserv.New(st, httpserv.Options{})
+			l, err := n.Listen(addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			go srv.Serve(l)
+		}
+		fedSrv := httpserv.New(newStoreWith(b, "/unused", nil), httpserv.Options{
+			Metalinks: staticMetalink(int64(len(blob))),
+		})
+		fl, err := n.Listen("fed:80")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer fl.Close()
+		go fedSrv.Serve(fl)
+
+		if killPrimary {
+			n.SetDown("dpm1:80", true)
+		}
+		client, err := New(Options{Dialer: n, Strategy: StrategyFailover, MetalinkHost: "fed:80"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer client.Close()
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.GetRange(ctx, "http://dpm1:80/f", 0, 4096); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("healthy-primary", func(b *testing.B) { run(b, false) })
+	b.Run("primary-dead", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkMultiStream measures the §2.4 multi-stream download against a
+// single-stream GET of the same object across 3 replicas.
+func BenchmarkMultiStream(b *testing.B) {
+	blob := make([]byte, 4<<20)
+	rand.New(rand.NewSource(2)).Read(blob)
+	n := netsim.New(netsim.PAN())
+	replicas := []string{"dpm1:80", "dpm2:80", "dpm3:80"}
+	for _, addr := range replicas {
+		st := newStoreWith(b, "/big", blob)
+		srv := httpserv.New(st, httpserv.Options{})
+		l, err := n.Listen(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		go srv.Serve(l)
+	}
+	fedSrv := httpserv.New(newStoreWith(b, "/unused", nil), httpserv.Options{
+		Metalinks: staticMetalink(int64(len(blob))),
+	})
+	fl, err := n.Listen("fed:80")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fl.Close()
+	go fedSrv.Serve(fl)
+
+	client, err := New(Options{
+		Dialer: n, Strategy: StrategyMultiStream,
+		MetalinkHost: "fed:80", MaxStreams: 3, ChunkSize: 512 << 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+
+	b.Run("single-stream", func(b *testing.B) {
+		b.SetBytes(int64(len(blob)))
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Get(ctx, "http://dpm1:80/big"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("multi-stream", func(b *testing.B) {
+		b.SetBytes(int64(len(blob)))
+		for i := 0; i < b.N; i++ {
+			if _, err := client.DownloadMultiStream(ctx, "http://dpm1:80/big"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- micro-benchmarks of the core building blocks ---
+
+// BenchmarkRangeCoalesce measures the data-sieving pass.
+func BenchmarkRangeCoalesce(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	ranges := make([]rangev.Range, 1024)
+	for i := range ranges {
+		ranges[i] = rangev.Range{Off: rng.Int63n(1 << 30), Len: rng.Int63n(4096) + 1}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rangev.Coalesce(ranges, 4096)
+	}
+}
+
+// BenchmarkWireResponseParse measures HTTP response header+body parsing.
+func BenchmarkWireResponseParse(b *testing.B) {
+	raw := "HTTP/1.1 206 Partial Content\r\nContent-Length: 4096\r\n" +
+		"Content-Range: bytes 0-4095/1048576\r\nContent-Type: application/octet-stream\r\n\r\n" +
+		strings.Repeat("x", 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := wire.ReadResponse(bufio.NewReader(strings.NewReader(raw)), "GET")
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Discard()
+	}
+}
+
+// BenchmarkRNTWriteRead measures the event file format end to end.
+func BenchmarkRNTWriteRead(b *testing.B) {
+	spec := rootio.SynthSpec{Events: 500, Branches: 4, MeanPayload: 64, Seed: 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		img, err := rootio.Synthesize(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := rootio.OpenReader(rootio.BytesSource(img))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.ReadEvent(250, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// helpers
+
+func newStoreWith(b *testing.B, path string, data []byte) *storage.MemStore {
+	b.Helper()
+	st := storage.NewMemStore()
+	if data != nil {
+		if err := st.Put(path, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return st
+}
+
+func staticMetalink(size int64) httpserv.MetalinkProvider {
+	return func(p string) *metalink.Metalink {
+		return &metalink.Metalink{
+			Name: "f", Size: size,
+			URLs: []metalink.URL{
+				{Loc: "http://dpm1:80" + p, Priority: 1},
+				{Loc: "http://dpm2:80" + p, Priority: 2},
+				{Loc: "http://dpm3:80" + p, Priority: 3},
+			},
+		}
+	}
+}
+
+// BenchmarkPoolBorrowReturn measures the dispatch fast path: borrowing and
+// returning a warm pooled connection.
+func BenchmarkPoolBorrowReturn(b *testing.B) {
+	n := netsim.New(netsim.Ideal())
+	l, err := n.Listen("s:80")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	p := pool.New(n, pool.Options{})
+	defer p.Close()
+	ctx := context.Background()
+	c, err := p.Get(ctx, "s:80")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Put(c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := p.Get(ctx, "s:80")
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Put(c)
+	}
+}
+
+// BenchmarkXrootdFrameCodec measures binary frame encode+decode.
+func BenchmarkXrootdFrameCodec(b *testing.B) {
+	chunks := make([]xrootd.Chunk, 128)
+	for i := range chunks {
+		chunks[i] = xrootd.Chunk{Handle: 1, Offset: int64(i) * 4096, Length: 256}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xrootd.DecodeChunksForTest(xrootd.EncodeChunksForTest(chunks)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeCacheScan measures a full in-memory TreeCache event scan
+// (decompression + scatter, no network).
+func BenchmarkTreeCacheScan(b *testing.B) {
+	img, err := rootio.Synthesize(rootio.SynthSpec{Events: 2000, Branches: 6, MeanPayload: 64, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := rootio.OpenReader(rootio.BytesSource(img))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tc := rootio.NewTreeCache(r, 500, nil)
+		for ev := uint64(0); ev < 2000; ev++ {
+			if _, err := tc.Event(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+		tc.Close()
+	}
+}

@@ -1,0 +1,93 @@
+// Command davix-bench regenerates every figure of the paper's evaluation
+// on the simulated testbed, printing one table per experiment.
+//
+// Usage:
+//
+//	davix-bench                           # every experiment, default sizes
+//	davix-bench -experiment fig4          # just Figure 4
+//	davix-bench -experiment fig4 -fractions 0.1,0.5,1.0
+//	davix-bench -repeats 10 -events 12000
+//
+// Experiments: fig1, fig2, fig3, fig4, fig4async, gap, failover,
+// multistream, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"godavix/internal/bench"
+	"godavix/internal/rootio"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	repeats := flag.Int("repeats", 5, "measurement repeats per configuration")
+	events := flag.Int("events", 12000, "events in the synthetic dataset")
+	branches := flag.Int("branches", 12, "branches in the synthetic dataset")
+	meanPayload := flag.Int("mean-payload", 64, "mean branch payload bytes")
+	window := flag.Uint64("window", 3000, "TreeCache window in events")
+	fractionsArg := flag.String("fractions", "1.0", "comma-separated event fractions for fig4")
+	flag.Parse()
+
+	var fractions []float64
+	for _, f := range strings.Split(*fractionsArg, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 || v > 1 {
+			log.Fatalf("davix-bench: bad fraction %q", f)
+		}
+		fractions = append(fractions, v)
+	}
+
+	opts := bench.Options{
+		Repeats: *repeats,
+		Spec: rootio.SynthSpec{
+			Events:      *events,
+			Branches:    *branches,
+			MeanPayload: *meanPayload,
+			Seed:        1,
+		},
+		Window:    *window,
+		Fractions: fractions,
+	}
+
+	type exp struct {
+		name string
+		run  func(bench.Options) (*bench.Table, error)
+	}
+	all := []exp{
+		{"fig1", bench.Fig1},
+		{"fig2", bench.Fig2},
+		{"fig3", bench.Fig3},
+		{"fig4", bench.Fig4},
+		{"fig4async", bench.Fig4HTTPAsync},
+		{"gap", bench.Fig3GapAblation},
+		{"failover", bench.Failover},
+		{"multistream", bench.MultiStream},
+		{"window", bench.WindowAblation},
+		{"poolsize", bench.PoolSizeAblation},
+		{"prefetch", bench.PrefetchAblation},
+		{"federation", bench.FederationCompare},
+	}
+
+	ran := 0
+	for _, e := range all {
+		if *experiment != "all" && *experiment != e.name {
+			continue
+		}
+		ran++
+		fmt.Fprintf(os.Stderr, "running %s...\n", e.name)
+		table, err := e.run(opts)
+		if err != nil {
+			log.Fatalf("davix-bench: %s: %v", e.name, err)
+		}
+		table.Render(os.Stdout)
+	}
+	if ran == 0 {
+		log.Fatalf("davix-bench: unknown experiment %q", *experiment)
+	}
+}

@@ -1,0 +1,171 @@
+// Command davix-get is the CLI companion of the davix library (the analog
+// of the davix-get/davix-put/davix-ls tools shipped with libdavix). It
+// talks plain HTTP/WebDAV to any server.
+//
+// Usage:
+//
+//	davix-get http://host:8080/store/f            # download to stdout
+//	davix-get -o out.bin http://host:8080/store/f # download to file
+//	davix-get -put in.bin http://host:8080/store/f
+//	davix-get -stat http://host:8080/store/f
+//	davix-get -ls   http://host:8080/store/
+//	davix-get -mkdir http://host:8080/newdir
+//	davix-get -rm    http://host:8080/store/f
+//	davix-get -multistream -metalink-host fed:80 http://host:8080/big
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"godavix"
+)
+
+func main() {
+	out := flag.String("o", "", "write downloaded data to this file (default stdout)")
+	putFile := flag.String("put", "", "upload this local file to the URL")
+	doStat := flag.Bool("stat", false, "stat the URL")
+	doLs := flag.Bool("ls", false, "list the collection at the URL")
+	recursive := flag.Bool("r", false, "with -ls: recurse into subcollections")
+	doRm := flag.Bool("rm", false, "delete the URL")
+	doMkdir := flag.Bool("mkdir", false, "create a collection at the URL")
+	multiStream := flag.Bool("multistream", false, "download with the multi-stream strategy")
+	metalinkHost := flag.String("metalink-host", "", "federation host consulted for Metalinks")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	token := flag.String("token", "", "bearer token for Authorization")
+	user := flag.String("user", "", "username for HTTP Basic auth (with -password)")
+	password := flag.String("password", "", "password for HTTP Basic auth")
+	verify := flag.Bool("verify", false, "verify adler32 checksums end to end")
+	s3Key := flag.String("s3-key", "", "AWS access key (SigV4 signing, with -s3-secret)")
+	s3Secret := flag.String("s3-secret", "", "AWS secret key")
+	s3Region := flag.String("s3-region", "us-east-1", "AWS region for SigV4 scope")
+	copyTo := flag.String("copy-to", "", "third-party copy the URL to this destination URL")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "davix-get: exactly one URL argument required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	url := flag.Arg(0)
+
+	var creds *davix.Credentials
+	if *token != "" {
+		creds = &davix.Credentials{Bearer: *token}
+	} else if *user != "" {
+		creds = &davix.Credentials{Username: *user, Password: *password}
+	}
+	var s3creds *davix.S3Credentials
+	if *s3Key != "" {
+		s3creds = &davix.S3Credentials{AccessKey: *s3Key, SecretKey: *s3Secret, Region: *s3Region}
+	}
+	client, err := davix.New(davix.Options{
+		RequestTimeout:  *timeout,
+		MetalinkHost:    *metalinkHost,
+		Auth:            creds,
+		VerifyChecksums: *verify,
+		S3:              s3creds,
+	})
+	if err != nil {
+		log.Fatalf("davix-get: %v", err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+
+	switch {
+	case *copyTo != "":
+		if err := client.Copy(ctx, url, *copyTo); err != nil {
+			log.Fatalf("davix-get: copy: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "copied %s -> %s (server to server)\n", url, *copyTo)
+
+	case *putFile != "":
+		data, err := os.ReadFile(*putFile)
+		if err != nil {
+			log.Fatalf("davix-get: %v", err)
+		}
+		if err := client.Put(ctx, url, data); err != nil {
+			log.Fatalf("davix-get: put: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "uploaded %d bytes to %s\n", len(data), url)
+
+	case *doStat:
+		inf, err := client.Stat(ctx, url)
+		if err != nil {
+			log.Fatalf("davix-get: stat: %v", err)
+		}
+		kind := "file"
+		if inf.Dir {
+			kind = "collection"
+		}
+		fmt.Printf("%s\t%s\t%d bytes\tmod %s\t%s\n", inf.Path, kind, inf.Size,
+			inf.ModTime.Format(time.RFC3339), inf.Checksum)
+
+	case *doLs:
+		printEntry := func(e davix.Info) {
+			marker := ""
+			if e.Dir {
+				marker = "/"
+			}
+			fmt.Printf("%10d  %s  %s%s\n", e.Size, e.ModTime.Format("2006-01-02 15:04"), e.Path, marker)
+		}
+		if *recursive {
+			err := client.Walk(ctx, url, func(e davix.Info) error {
+				printEntry(e)
+				return nil
+			})
+			if err != nil {
+				log.Fatalf("davix-get: ls -r: %v", err)
+			}
+			break
+		}
+		entries, err := client.List(ctx, url)
+		if err != nil {
+			log.Fatalf("davix-get: ls: %v", err)
+		}
+		for _, e := range entries {
+			printEntry(e)
+		}
+
+	case *doRm:
+		if err := client.Delete(ctx, url); err != nil {
+			log.Fatalf("davix-get: rm: %v", err)
+		}
+
+	case *doMkdir:
+		if err := client.Mkdir(ctx, url); err != nil {
+			log.Fatalf("davix-get: mkdir: %v", err)
+		}
+
+	default:
+		var data []byte
+		var err error
+		if *multiStream {
+			data, err = client.DownloadMultiStream(ctx, url)
+		} else {
+			data, err = client.Get(ctx, url)
+		}
+		if err != nil {
+			log.Fatalf("davix-get: %v", err)
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				log.Fatalf("davix-get: %v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if _, err := w.Write(data); err != nil {
+			log.Fatalf("davix-get: %v", err)
+		}
+		if *out != "" {
+			fmt.Fprintf(os.Stderr, "downloaded %d bytes to %s\n", len(data), *out)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Command dpm-server runs the DPM-like HTTP/WebDAV storage server on a
+// real TCP port, serving a directory tree. It supports GET/PUT/DELETE,
+// single- and multi-range reads, MKCOL and PROPFIND — everything the davix
+// client needs.
+//
+// Usage:
+//
+//	dpm-server -addr :8080 -root /tmp/dpmdata
+//	dpm-server -addr :8080 -root /tmp/dpmdata -no-keepalive   # Figure 2 baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"godavix/internal/httpserv"
+	"godavix/internal/storage"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	root := flag.String("root", "", "directory to serve (required)")
+	noKeepAlive := flag.Bool("no-keepalive", false, "disable HTTP keep-alive (close every connection)")
+	token := flag.String("token", "", "require this bearer token on every request")
+	flag.Parse()
+
+	if *root == "" {
+		fmt.Fprintln(os.Stderr, "dpm-server: -root is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	store, err := storage.NewDiskStore(*root)
+	if err != nil {
+		log.Fatalf("dpm-server: %v", err)
+	}
+	opts := httpserv.Options{DisableKeepAlive: *noKeepAlive}
+	if *token != "" {
+		want := "Bearer " + *token
+		opts.Authorize = func(a string) bool { return a == want }
+	}
+	srv := httpserv.New(store, opts)
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("dpm-server: %v", err)
+	}
+	log.Printf("dpm-server: serving %s on %s (keepalive=%v)", *root, l.Addr(), !*noKeepAlive)
+	if err := srv.Serve(l); err != nil {
+		log.Fatalf("dpm-server: %v", err)
+	}
+}

@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"godavix/internal/core"
+	"godavix/internal/fed"
+	"godavix/internal/httpserv"
+	"godavix/internal/netsim"
+	"godavix/internal/storage"
+)
+
+// fedEnv is the §2.4 testbed: M replica servers plus a federation
+// front-end generating Metalinks, all on one fabric.
+type fedEnv struct {
+	net      *netsim.Network
+	replicas []string
+	fed      *fed.Federation
+	closers  []func()
+}
+
+func newFedEnv(prof netsim.Profile, nReplicas int, blob []byte, path string) (*fedEnv, error) {
+	e := &fedEnv{net: netsim.New(prof)}
+	var endpoints []fed.Endpoint
+	for i := 0; i < nReplicas; i++ {
+		addr := fmt.Sprintf("dpm%d:80", i+1)
+		st := storage.NewMemStore()
+		st.Put(path, blob)
+		srv := httpserv.New(st, httpserv.Options{})
+		l, err := e.net.Listen(addr)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		e.closers = append(e.closers, func() { l.Close() })
+		go srv.Serve(l)
+		e.replicas = append(e.replicas, addr)
+		endpoints = append(endpoints, fed.Endpoint{Host: addr, Priority: i + 1})
+	}
+
+	probe, err := core.NewClient(core.Options{Dialer: e.net, Strategy: core.StrategyNone})
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	e.closers = append(e.closers, probe.Close)
+	e.fed = fed.New(probe, endpoints, fed.Options{HealthTTL: 10 * time.Millisecond, ProbeTimeout: 500 * time.Millisecond})
+
+	fedSrv := httpserv.New(storage.NewMemStore(), httpserv.Options{Metalinks: e.fed.MetalinkFor})
+	fl, err := e.net.Listen(FedAddr)
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	e.closers = append(e.closers, func() { fl.Close() })
+	go fedSrv.Serve(fl)
+	return e, nil
+}
+
+func (e *fedEnv) Close() {
+	for i := len(e.closers) - 1; i >= 0; i-- {
+		e.closers[i]()
+	}
+	e.closers = nil
+}
+
+// Failover reproduces the §2.4 resilience claims: with M replicas behind a
+// federation, a davix read succeeds as long as at least one replica lives,
+// and a healthy primary pays zero overhead. Rows: k dead replicas →
+// success + read latency.
+func Failover(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	const (
+		nReplicas = 3
+		blobSize  = 256 << 10
+		path      = "/store/f"
+	)
+	table := &Table{
+		Title:   "§2.4: Metalink fail-over — read success and latency vs dead replicas",
+		Columns: []string{"dead replicas", "read ok", "latency", "note"},
+		Notes:   []string{fmt.Sprintf("%d replicas of a %d KiB object behind a DynaFed-style federation, PAN link", nReplicas, blobSize>>10)},
+	}
+	blob := make([]byte, blobSize)
+	rand.New(rand.NewSource(17)).Read(blob)
+
+	for dead := 0; dead <= nReplicas; dead++ {
+		env, err := newFedEnv(netsim.PAN(), nReplicas, blob, path)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < dead; i++ {
+			env.net.SetDown(env.replicas[i], true)
+		}
+		time.Sleep(15 * time.Millisecond) // health cache refresh window
+
+		client, err := core.NewClient(core.Options{
+			Dialer:       env.net,
+			Strategy:     core.StrategyFailover,
+			MetalinkHost: FedAddr,
+		})
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		ctx := context.Background()
+
+		s := &Sample{}
+		ok := true
+		var lastErr error
+		for rep := 0; rep < opts.Repeats; rep++ {
+			timer := startTimer()
+			f, err := client.Open(ctx, env.replicas[0], path)
+			if err == nil {
+				buf := make([]byte, 4096)
+				_, err = f.ReadAt(buf, int64(rep)*4096)
+			}
+			if err != nil {
+				ok = false
+				lastErr = err
+				break
+			}
+			s.AddDuration(timer())
+		}
+		note := ""
+		switch {
+		case !ok && dead == nReplicas:
+			note = "expected: no replica left"
+		case !ok:
+			note = fmt.Sprintf("UNEXPECTED failure: %v", lastErr)
+		case dead == 0:
+			note = "healthy primary: no metalink traffic"
+		default:
+			note = "transparent failover"
+		}
+		lat := "-"
+		if ok {
+			lat = Millis(s)
+		}
+		table.AddRow(fmt.Sprint(dead), fmt.Sprint(ok), lat, note)
+		client.Close()
+		env.Close()
+	}
+	return table, nil
+}
+
+// MultiStream compares the §2.4 multi-stream strategy against a plain
+// single-source download for a larger object, and demonstrates the load
+// spreading across replicas.
+func MultiStream(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	const (
+		nReplicas = 3
+		blobSize  = 8 << 20
+		path      = "/store/big"
+	)
+	table := &Table{
+		Title:   "§2.4: multi-stream download vs single stream",
+		Columns: []string{"mode", "time", "throughput"},
+		Notes:   []string{fmt.Sprintf("%d MiB object, %d replicas, PAN link", blobSize>>20, nReplicas)},
+	}
+	blob := make([]byte, blobSize)
+	rand.New(rand.NewSource(23)).Read(blob)
+
+	single, multi := &Sample{}, &Sample{}
+	for rep := 0; rep < opts.Repeats; rep++ {
+		env, err := newFedEnv(netsim.PAN(), nReplicas, blob, path)
+		if err != nil {
+			return nil, err
+		}
+		client, err := core.NewClient(core.Options{
+			Dialer:       env.net,
+			Strategy:     core.StrategyMultiStream,
+			MetalinkHost: FedAddr,
+			ChunkSize:    1 << 20,
+			MaxStreams:   nReplicas,
+		})
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		ctx := context.Background()
+
+		timer := startTimer()
+		data, err := client.Get(ctx, env.replicas[0], path)
+		if err != nil || len(data) != blobSize {
+			client.Close()
+			env.Close()
+			return nil, fmt.Errorf("single stream: %v (%d bytes)", err, len(data))
+		}
+		single.AddDuration(timer())
+
+		timer = startTimer()
+		data, err = client.DownloadMultiStream(ctx, env.replicas[0], path)
+		if err != nil || len(data) != blobSize {
+			client.Close()
+			env.Close()
+			return nil, fmt.Errorf("multi stream: %v (%d bytes)", err, len(data))
+		}
+		multi.AddDuration(timer())
+
+		client.Close()
+		env.Close()
+	}
+	tput := func(s *Sample) string {
+		return fmt.Sprintf("%.1f MiB/s", float64(blobSize)/(1<<20)/s.Mean())
+	}
+	table.AddRow("single stream", Seconds(single), tput(single))
+	table.AddRow("multi-stream ×3", Seconds(multi), tput(multi))
+	return table, nil
+}

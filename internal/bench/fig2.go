@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"godavix/internal/core"
+	"godavix/internal/httpserv"
+	"godavix/internal/netsim"
+)
+
+// Fig2 measures the paper's Figure 2 design: the dynamic connection pool
+// with aggressive KeepAlive session recycling versus one-connection-per-
+// request (HTTP/1.0 style). Each fresh connection pays the TCP handshake
+// plus the slow-start ramp; recycling pays them once per session.
+//
+// Workload: R sequential 16 KiB GETs per link class.
+func Fig2(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	const (
+		requests = 40
+		objSize  = 16 << 10
+	)
+	table := &Table{
+		Title:   "Figure 2: session recycling (KeepAlive pool) vs connection-per-request",
+		Columns: []string{"link", "recycled", "per-request", "recycling speedup", "dials recycled", "dials per-req"},
+		Notes: []string{
+			fmt.Sprintf("%d sequential %d KiB GETs; per-request pays handshake + slow-start each time", requests, objSize>>10),
+		},
+	}
+
+	for _, prof := range []netsim.Profile{netsim.LAN(), netsim.PAN(), netsim.WAN()} {
+		recycled, recDials, err := fig2Run(prof, requests, objSize, false, opts.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		perReq, prDials, err := fig2Run(prof, requests, objSize, true, opts.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(
+			prof.Name,
+			Seconds(recycled),
+			Seconds(perReq),
+			fmt.Sprintf("%.2fx", perReq.Mean()/recycled.Mean()),
+			fmt.Sprint(recDials),
+			fmt.Sprint(prDials),
+		)
+	}
+	return table, nil
+}
+
+// fig2Run times `requests` sequential GETs; disableKeepAlive selects the
+// per-request-connection baseline.
+func fig2Run(prof netsim.Profile, requests, objSize int, disableKeepAlive bool, repeats int) (*Sample, int64, error) {
+	sample := &Sample{}
+	var dials int64
+	for rep := 0; rep < repeats; rep++ {
+		env, err := NewEnv(prof, httpserv.Options{DisableKeepAlive: disableKeepAlive})
+		if err != nil {
+			return nil, 0, err
+		}
+		env.Store.Put("/obj", make([]byte, objSize))
+		client, err := env.NewHTTPClient(core.Options{Strategy: core.StrategyNone})
+		if err != nil {
+			env.Close()
+			return nil, 0, err
+		}
+		ctx := context.Background()
+
+		timer := startTimer()
+		for i := 0; i < requests; i++ {
+			if _, err := client.Get(ctx, HTTPAddr, "/obj"); err != nil {
+				client.Close()
+				env.Close()
+				return nil, 0, err
+			}
+		}
+		sample.AddDuration(timer())
+		dials = env.Net.Dials()
+		client.Close()
+		env.Close()
+	}
+	return sample, dials, nil
+}

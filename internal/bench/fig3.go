@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"godavix/internal/core"
+	"godavix/internal/httpserv"
+	"godavix/internal/netsim"
+	"godavix/internal/rangev"
+)
+
+// startTimer returns a function reporting the elapsed time since the call.
+func startTimer() func() time.Duration {
+	t0 := time.Now()
+	return func() time.Duration { return time.Since(t0) }
+}
+
+// Fig3 measures the paper's Figure 3 mechanism: K scattered fragment reads
+// issued (a) as K individual ranged GETs, (b) as one davix vectored
+// multi-range request, (c) as one xrootd readv. The vectored forms turn K
+// round trips into one, "drastically reducing the number of remote network
+// I/O operations".
+func Fig3(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	const (
+		blobSize = 8 << 20
+		fragLen  = 256
+	)
+	table := &Table{
+		Title:   "Figure 3: K fragment reads — individual GETs vs vectored multi-range vs xrootd readv",
+		Columns: []string{"link", "K", "individual", "davix vectored", "xrootd readv", "HTTP reqs (indiv/vec)"},
+		Notes:   []string{fmt.Sprintf("fragments of %d bytes scattered over a %d MiB object", fragLen, blobSize>>20)},
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	blob := make([]byte, blobSize)
+	rng.Read(blob)
+
+	for _, prof := range []netsim.Profile{netsim.LAN(), netsim.PAN()} {
+		for _, k := range []int{16, 64, 256} {
+			env, err := NewEnv(prof, httpserv.Options{})
+			if err != nil {
+				return nil, err
+			}
+			env.Store.Put("/blob", blob)
+
+			ranges := make([]rangev.Range, k)
+			dsts := make([][]byte, k)
+			frng := rand.New(rand.NewSource(int64(k)))
+			for i := range ranges {
+				ranges[i] = rangev.Range{Off: frng.Int63n(blobSize - fragLen), Len: fragLen}
+				dsts[i] = make([]byte, fragLen)
+			}
+
+			indiv, vec, xrd := &Sample{}, &Sample{}, &Sample{}
+			var indivReqs, vecReqs int64
+			for rep := 0; rep < opts.Repeats; rep++ {
+				client, err := env.NewHTTPClient(core.Options{Strategy: core.StrategyNone})
+				if err != nil {
+					env.Close()
+					return nil, err
+				}
+				ctx := context.Background()
+
+				before := env.HTTPServer.RequestsByMethod("GET")
+				timer := startTimer()
+				for i, r := range ranges {
+					data, err := client.GetRange(ctx, HTTPAddr, "/blob", r.Off, r.Len)
+					if err != nil {
+						client.Close()
+						env.Close()
+						return nil, err
+					}
+					copy(dsts[i], data)
+				}
+				indiv.AddDuration(timer())
+				indivReqs = env.HTTPServer.RequestsByMethod("GET") - before
+
+				before = env.HTTPServer.RequestsByMethod("GET")
+				timer = startTimer()
+				if err := client.ReadVec(ctx, HTTPAddr, "/blob", ranges, dsts); err != nil {
+					client.Close()
+					env.Close()
+					return nil, err
+				}
+				vec.AddDuration(timer())
+				vecReqs = env.HTTPServer.RequestsByMethod("GET") - before
+				client.Close()
+
+				xc := env.NewXrdClient()
+				xf, err := xc.Open(ctx, "/blob")
+				if err != nil {
+					xc.Close()
+					env.Close()
+					return nil, err
+				}
+				chunks := make([]rangev.Range, k)
+				copy(chunks, ranges)
+				timer = startTimer()
+				if err := XrdSource(ctx, xf).ReadVec(ranges, dsts); err != nil {
+					xc.Close()
+					env.Close()
+					return nil, err
+				}
+				xrd.AddDuration(timer())
+				xc.Close()
+			}
+			table.AddRow(
+				prof.Name,
+				fmt.Sprint(k),
+				Millis(indiv),
+				Millis(vec),
+				Millis(xrd),
+				fmt.Sprintf("%d/%d", indivReqs, vecReqs),
+			)
+			env.Close()
+		}
+	}
+	return table, nil
+}
+
+// Fig3GapAblation sweeps the data-sieving coalescing gap: larger gaps merge
+// more fragments into fewer parts at the cost of transferring hole bytes.
+// This ablates the CoalesceGap design choice called out in DESIGN.md.
+func Fig3GapAblation(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	const (
+		blobSize = 4 << 20
+		k        = 128
+		fragLen  = 128
+		stride   = 1024 // fragments regularly spaced: hole = stride-fragLen
+	)
+	table := &Table{
+		Title:   "Ablation: vectored-read coalescing gap (data sieving threshold)",
+		Columns: []string{"gap", "time", "frames", "bytes fetched"},
+		Notes:   []string{fmt.Sprintf("%d fragments of %dB with %dB holes, PAN link", k, fragLen, stride-fragLen)},
+	}
+	blob := make([]byte, blobSize)
+	rand.New(rand.NewSource(7)).Read(blob)
+
+	ranges := make([]rangev.Range, k)
+	dsts := make([][]byte, k)
+	for i := range ranges {
+		ranges[i] = rangev.Range{Off: int64(i * stride), Len: fragLen}
+		dsts[i] = make([]byte, fragLen)
+	}
+
+	for _, gap := range []int64{0, 256, 1024, 4096} {
+		env, err := NewEnv(netsim.PAN(), httpserv.Options{})
+		if err != nil {
+			return nil, err
+		}
+		env.Store.Put("/blob", blob)
+		client, err := env.NewHTTPClient(core.Options{Strategy: core.StrategyNone, CoalesceGap: gap})
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		ctx := context.Background()
+
+		s := &Sample{}
+		for rep := 0; rep < opts.Repeats; rep++ {
+			timer := startTimer()
+			if err := client.ReadVec(ctx, HTTPAddr, "/blob", ranges, dsts); err != nil {
+				client.Close()
+				env.Close()
+				return nil, err
+			}
+			s.AddDuration(timer())
+		}
+		frames := rangev.Coalesce(ranges, gap)
+		table.AddRow(
+			fmt.Sprint(gap),
+			Millis(s),
+			fmt.Sprint(len(frames)),
+			fmt.Sprint(rangev.TotalBytes(frames)),
+		)
+		client.Close()
+		env.Close()
+	}
+	return table, nil
+}

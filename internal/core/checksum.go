@@ -1,0 +1,29 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/adler32"
+	"strings"
+)
+
+// ErrChecksumMismatch reports a failed end-to-end integrity check.
+var ErrChecksumMismatch = errors.New("davix: checksum mismatch")
+
+// verifyChecksum compares data against a "algo:hex" checksum string.
+// Unknown algorithms are skipped (the server may use one we do not
+// implement); a present adler32 value must match.
+func verifyChecksum(data []byte, want, path string) error {
+	algo, val, ok := strings.Cut(want, ":")
+	if !ok {
+		return nil
+	}
+	if !strings.EqualFold(algo, "adler32") {
+		return nil
+	}
+	got := fmt.Sprintf("%08x", adler32.Checksum(data))
+	if !strings.EqualFold(got, val) {
+		return fmt.Errorf("%w: %s: got adler32:%s want %s", ErrChecksumMismatch, path, got, want)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// StatusError reports a non-success HTTP status from the server.
+type StatusError struct {
+	// Code is the HTTP status code.
+	Code int
+	// Status is the status line reason.
+	Status string
+	// Method and Path identify the failed request.
+	Method, Path string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("davix: %s %s: %s", e.Method, e.Path, e.Status)
+}
+
+// ErrNotFound is wrapped by 404 StatusErrors so callers can errors.Is it.
+var ErrNotFound = errors.New("davix: not found")
+
+// Is maps 404 onto ErrNotFound.
+func (e *StatusError) Is(target error) bool {
+	return target == ErrNotFound && e.Code == 404
+}
+
+// retryableStatus reports whether a status code indicates the replica is
+// unavailable (worth a Metalink failover) rather than a semantic failure
+// like 404 or 403 that every replica would repeat.
+func retryableStatus(code int) bool {
+	switch code {
+	case 500, 502, 503, 504:
+		return true
+	}
+	return false
+}
+
+// ErrAllReplicasFailed is returned when the failover engine exhausts every
+// replica listed in the Metalink.
+var ErrAllReplicasFailed = errors.New("davix: all replicas failed")
+
+// ErrVectorUnsupported is returned when the server answers a multi-range
+// request in a form the client cannot use (should not happen with
+// standards-compliant servers; kept for diagnostics).
+var ErrVectorUnsupported = errors.New("davix: server cannot satisfy vectored read")

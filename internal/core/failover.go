@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"net"
+
+	"godavix/internal/metalink"
+)
+
+// Replica identifies one location of a resource.
+type Replica struct {
+	// Host is the server address ("dpm2:80").
+	Host string
+	// Path is the resource path on that server.
+	Path string
+}
+
+// replicaUnavailable classifies err as "this replica is unavailable, try
+// another" (paper §2.4: offline server, connection refused/reset, 5xx)
+// versus a semantic failure every replica would reproduce (404, 403, bad
+// request).
+func replicaUnavailable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return retryableStatus(se.Code)
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	// Everything else (aborted connections, unexpected EOF, malformed
+	// responses from a dying server) counts as replica unavailability —
+	// except caller cancellation, which must propagate untouched.
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// replicasFor resolves the replica list for host/path: the primary first,
+// then the Metalink replicas in priority order (excluding duplicates of
+// the primary). Metalink resolution failures degrade to primary-only.
+func (c *Client) replicasFor(ctx context.Context, host, path string) []Replica {
+	reps := []Replica{{Host: host, Path: path}}
+	if c.opts.Strategy == StrategyNone {
+		return reps
+	}
+	ml, err := c.GetMetalink(ctx, host, path)
+	if err != nil {
+		return reps
+	}
+	for _, u := range ml.URLs {
+		h, p, err := metalink.SplitURL(u.Loc)
+		if err != nil || (h == host && p == path) {
+			continue
+		}
+		reps = append(reps, Replica{Host: h, Path: p})
+	}
+	return reps
+}
+
+// withFailover runs op against the primary replica and, if it reports
+// unavailability, transparently retries against each Metalink replica in
+// priority order — the paper's default "fail-over" strategy, which costs
+// nothing when the primary is healthy.
+func (c *Client) withFailover(ctx context.Context, host, path string, op func(Replica) error) error {
+	primary := Replica{Host: host, Path: path}
+	err := op(primary)
+	if err == nil || c.opts.Strategy == StrategyNone || !replicaUnavailable(err) {
+		return err
+	}
+	firstErr := err
+
+	ml, mlErr := c.GetMetalink(ctx, host, path)
+	if mlErr != nil {
+		return firstErr
+	}
+	tried := map[Replica]bool{primary: true}
+	for _, u := range ml.URLs {
+		h, p, err := metalink.SplitURL(u.Loc)
+		if err != nil {
+			continue
+		}
+		rep := Replica{Host: h, Path: p}
+		if tried[rep] {
+			continue
+		}
+		tried[rep] = true
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		err = op(rep)
+		if err == nil || !replicaUnavailable(err) {
+			return err
+		}
+	}
+	return errors.Join(ErrAllReplicasFailed, firstErr)
+}

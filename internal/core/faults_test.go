@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"testing"
+
+	"godavix/internal/httpserv"
+)
+
+// TestAbortedRequestFailsCleanly: the server crashes before answering; the
+// client must surface a transport error, not hang or panic.
+func TestAbortedRequestFailsCleanly(t *testing.T) {
+	e := newEnv(t, Options{Strategy: StrategyNone})
+	e.startServer(t, dpm1, httpserv.Options{})
+	e.stores[dpm1].Put("/f", []byte("x"))
+	e.srvs[dpm1].SetFault("/f", httpserv.Fault{Abort: true, Remaining: 1})
+
+	_, err := e.client.Get(context.Background(), dpm1, "/f")
+	if err == nil {
+		t.Fatal("expected transport error from aborted connection")
+	}
+	// Next request works (fault expired, fresh connection dialed).
+	got, err := e.client.Get(context.Background(), dpm1, "/f")
+	if err != nil || string(got) != "x" {
+		t.Fatalf("recovery get = %q err=%v", got, err)
+	}
+}
+
+// TestMidBodyTruncationDetected: the body is cut after half the declared
+// Content-Length; the client must report an error, never short data.
+func TestMidBodyTruncationDetected(t *testing.T) {
+	e := newEnv(t, Options{Strategy: StrategyNone})
+	e.startServer(t, dpm1, httpserv.Options{})
+	blob := make([]byte, 64<<10)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	e.stores[dpm1].Put("/f", blob)
+	e.srvs[dpm1].SetFault("/f", httpserv.Fault{TruncateBody: 32 << 10, Remaining: 1})
+
+	_, err := e.client.Get(context.Background(), dpm1, "/f")
+	if err == nil {
+		t.Fatal("truncated body not detected")
+	}
+	got, err := e.client.Get(context.Background(), dpm1, "/f")
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("recovery get: %d bytes err=%v", len(got), err)
+	}
+}
+
+// TestMidBodyCutFailsOverToReplica: a replica dying mid-transfer is an
+// unavailability signal; the read must complete from the second replica.
+func TestMidBodyCutFailsOverToReplica(t *testing.T) {
+	e := newEnv(t, Options{MetalinkHost: "fed:80"})
+	e.startServer(t, dpm1, httpserv.Options{})
+	e.startServer(t, "dpm2:80", httpserv.Options{})
+	blob := make([]byte, 32<<10)
+	for i := range blob {
+		blob[i] = byte(i * 7)
+	}
+	e.stores[dpm1].Put("/f", blob)
+	e.stores["dpm2:80"].Put("/f", blob)
+	e.startServer(t, "fed:80", httpserv.Options{Metalinks: mlFor("http://dpm2:80/f")})
+
+	// Primary always cuts transfers of /f halfway.
+	e.srvs[dpm1].SetFault("/f", httpserv.Fault{TruncateBody: 16 << 10})
+
+	got, err := e.client.Get(context.Background(), dpm1, "/f")
+	if err != nil {
+		t.Fatalf("failover after mid-body cut: %v", err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatal("content mismatch after failover")
+	}
+}
+
+// TestFileReadRetriesThroughCut: File.ReadAt across a mid-body cut with
+// replicas behind a federation.
+func TestFileReadRetriesThroughCut(t *testing.T) {
+	e := newEnv(t, Options{MetalinkHost: "fed:80"})
+	e.startServer(t, dpm1, httpserv.Options{})
+	e.startServer(t, "dpm2:80", httpserv.Options{})
+	blob := make([]byte, 16<<10)
+	for i := range blob {
+		blob[i] = byte(i * 3)
+	}
+	e.stores[dpm1].Put("/f", blob)
+	e.stores["dpm2:80"].Put("/f", blob)
+	e.startServer(t, "fed:80", httpserv.Options{Metalinks: mlFor("http://dpm2:80/f")})
+
+	ctx := context.Background()
+	f, err := e.client.Open(ctx, dpm1, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.srvs[dpm1].SetFault("/f", httpserv.Fault{Abort: true})
+
+	buf := make([]byte, len(blob))
+	if _, err := io.ReadFull(io.NewSectionReader(readAtAdapter{f}, 0, f.Size()), buf); err != nil {
+		t.Fatalf("sectioned read with aborting primary: %v", err)
+	}
+	if !bytes.Equal(buf, blob) {
+		t.Fatal("content mismatch")
+	}
+}
+
+// readAtAdapter strips the context from File.ReadAt for io.SectionReader.
+type readAtAdapter struct{ f *File }
+
+func (a readAtAdapter) ReadAt(p []byte, off int64) (int, error) { return a.f.ReadAt(p, off) }

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"godavix/internal/metalink"
+)
+
+// DownloadMultiStream implements the paper's §2.4 "multi-stream" strategy:
+// the resource is split into ChunkSize chunks and each chunk is fetched
+// from a different replica in parallel (MaxStreams goroutines, replicas
+// assigned round-robin). A chunk whose replica fails is retried on the
+// next replica, so the download succeeds as long as one replica holds
+// every byte. The paper notes this maximizes client bandwidth at the cost
+// of server load.
+func (c *Client) DownloadMultiStream(ctx context.Context, host, path string) ([]byte, error) {
+	ml, err := c.GetMetalink(ctx, host, path)
+	if err != nil {
+		return nil, fmt.Errorf("davix: multi-stream needs a metalink: %w", err)
+	}
+	return c.downloadFromMetalink(ctx, ml, Replica{Host: host, Path: path})
+}
+
+// downloadFromMetalink drives the chunked parallel download.
+func (c *Client) downloadFromMetalink(ctx context.Context, ml *metalink.Metalink, primary Replica) ([]byte, error) {
+	replicas := []Replica{primary}
+	seen := map[Replica]bool{primary: true}
+	for _, u := range ml.URLs {
+		h, p, err := metalink.SplitURL(u.Loc)
+		if err != nil {
+			continue
+		}
+		r := Replica{Host: h, Path: p}
+		if !seen[r] {
+			seen[r] = true
+			replicas = append(replicas, r)
+		}
+	}
+
+	size := ml.Size
+	if size < 0 {
+		// Metalink without size: stat any live replica.
+		var err error
+		for _, r := range replicas {
+			var inf Info
+			if inf, err = c.Stat(ctx, r.Host, r.Path); err == nil {
+				size = inf.Size
+				break
+			}
+		}
+		if size < 0 {
+			return nil, fmt.Errorf("davix: cannot determine size: %w", err)
+		}
+	}
+	if size == 0 {
+		return []byte{}, nil
+	}
+
+	nChunks := int((size + c.opts.ChunkSize - 1) / c.opts.ChunkSize)
+	out := make([]byte, size)
+	type chunk struct {
+		idx      int
+		off, len int64
+	}
+	work := make(chan chunk, nChunks)
+	for i := 0; i < nChunks; i++ {
+		off := int64(i) * c.opts.ChunkSize
+		ln := c.opts.ChunkSize
+		if off+ln > size {
+			ln = size - off
+		}
+		work <- chunk{idx: i, off: off, len: ln}
+	}
+	close(work)
+
+	streams := c.opts.MaxStreams
+	if streams > nChunks {
+		streams = nChunks
+	}
+	var (
+		wg      sync.WaitGroup
+		errMu   sync.Mutex
+		firstEr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstEr == nil {
+			firstEr = err
+		}
+		errMu.Unlock()
+	}
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(streamID int) {
+			defer wg.Done()
+			for ck := range work {
+				if ctx.Err() != nil {
+					setErr(ctx.Err())
+					return
+				}
+				// Spread chunks across replicas; on failure walk the ring.
+				var lastErr error
+				ok := false
+				for attempt := 0; attempt < len(replicas); attempt++ {
+					rep := replicas[(ck.idx+attempt)%len(replicas)]
+					data, err := c.getRangeOnce(ctx, rep.Host, rep.Path, ck.off, ck.len)
+					if err == nil && int64(len(data)) == ck.len {
+						copy(out[ck.off:ck.off+ck.len], data)
+						ok = true
+						break
+					}
+					if err == nil {
+						err = fmt.Errorf("davix: short chunk from %s: %d < %d", rep.Host, len(data), ck.len)
+					}
+					lastErr = err
+					if !replicaUnavailable(err) {
+						break
+					}
+				}
+				if !ok {
+					setErr(errors.Join(ErrAllReplicasFailed, lastErr))
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return out, nil
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"godavix/internal/webdav"
+	"godavix/internal/wire"
+)
+
+// Info describes a remote resource, as learned from HEAD or PROPFIND.
+type Info struct {
+	// Path is the resource path on the server.
+	Path string
+	// Size is the content length in bytes.
+	Size int64
+	// Dir reports whether the resource is a WebDAV collection.
+	Dir bool
+	// ModTime is the last modification time (zero when unknown).
+	ModTime time.Time
+	// Checksum is the server-reported checksum, if any.
+	Checksum string
+}
+
+// Get fetches the whole object at host/path, failing over to Metalink
+// replicas when the host is unavailable (unless StrategyNone).
+func (c *Client) Get(ctx context.Context, host, path string) ([]byte, error) {
+	var out []byte
+	err := c.withFailover(ctx, host, path, func(r Replica) error {
+		b, err := c.getOnce(ctx, r.Host, r.Path)
+		out = b
+		return err
+	})
+	return out, err
+}
+
+// getOnce fetches the whole object from exactly one replica, following
+// head-node redirects and (optionally) verifying the server checksum.
+func (c *Client) getOnce(ctx context.Context, host, path string) ([]byte, error) {
+	resp, err := c.doFollow(ctx, host, path, func(h, p string) *wire.Request {
+		return wire.NewRequest("GET", h, p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != 200 {
+		return nil, statusErr(resp, "GET", path)
+	}
+	want := resp.Header.Get("X-Checksum")
+	body, err := resp.ReadAllAndClose()
+	if err != nil {
+		return nil, err
+	}
+	if c.opts.VerifyChecksums && want != "" {
+		if err := verifyChecksum(body, want, path); err != nil {
+			return nil, err
+		}
+	}
+	return body, nil
+}
+
+// GetRange fetches length bytes at offset off with replica failover.
+func (c *Client) GetRange(ctx context.Context, host, path string, off, length int64) ([]byte, error) {
+	var out []byte
+	err := c.withFailover(ctx, host, path, func(r Replica) error {
+		b, err := c.getRangeOnce(ctx, r.Host, r.Path, off, length)
+		out = b
+		return err
+	})
+	return out, err
+}
+
+// getRangeOnce fetches one range from exactly one replica using a single
+// Range request. Servers ignoring Range (status 200) are handled by
+// slicing the full body.
+func (c *Client) getRangeOnce(ctx context.Context, host, path string, off, length int64) ([]byte, error) {
+	rangeVal := "bytes=" + strconv.FormatInt(off, 10) + "-" + strconv.FormatInt(off+length-1, 10)
+	resp, err := c.doFollow(ctx, host, path, func(h, p string) *wire.Request {
+		req := wire.NewRequest("GET", h, p)
+		req.Header.Set("Range", rangeVal)
+		return req
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case 206:
+		return resp.ReadAllAndClose()
+	case 200:
+		// Range-ignorant server: take the slice out of the full body.
+		body, err := resp.ReadAllAndClose()
+		if err != nil {
+			return nil, err
+		}
+		if off >= int64(len(body)) {
+			return nil, &StatusError{Code: 416, Status: "416 Requested Range Not Satisfiable", Method: "GET", Path: path}
+		}
+		end := off + length
+		if end > int64(len(body)) {
+			end = int64(len(body))
+		}
+		return body[off:end], nil
+	default:
+		return nil, statusErr(resp, "GET", path)
+	}
+}
+
+// Put stores data at host/path, following head-node redirects to the
+// disk node designated for the upload.
+func (c *Client) Put(ctx context.Context, host, path string, data []byte) error {
+	resp, err := c.doFollow(ctx, host, path, func(h, p string) *wire.Request {
+		req := wire.NewRequest("PUT", h, p)
+		req.SetBodyBytes(data)
+		return req
+	})
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return statusErr(resp, "PUT", path)
+	}
+	_, err = resp.ReadAllAndClose()
+	return err
+}
+
+// Delete removes the object at host/path.
+func (c *Client) Delete(ctx context.Context, host, path string) error {
+	req := wire.NewRequest("DELETE", host, path)
+	resp, err := c.Do(ctx, host, req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return statusErr(resp, "DELETE", path)
+	}
+	_, err = resp.ReadAllAndClose()
+	return err
+}
+
+// Mkdir creates a WebDAV collection at host/path.
+func (c *Client) Mkdir(ctx context.Context, host, path string) error {
+	req := wire.NewRequest("MKCOL", host, path)
+	resp, err := c.Do(ctx, host, req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return statusErr(resp, "MKCOL", path)
+	}
+	_, err = resp.ReadAllAndClose()
+	return err
+}
+
+// Copy asks the server at srcHost to push srcPath to destURL (WebDAV
+// third-party copy, the WLCG HTTP-TPC push pattern): the data flows
+// directly between the two storage servers, never through this client.
+func (c *Client) Copy(ctx context.Context, srcHost, srcPath, destURL string) error {
+	req := wire.NewRequest("COPY", srcHost, srcPath)
+	req.Header.Set("Destination", destURL)
+	resp, err := c.Do(ctx, srcHost, req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return statusErr(resp, "COPY", srcPath)
+	}
+	_, err = resp.ReadAllAndClose()
+	return err
+}
+
+// Stat describes the resource at host/path using HEAD, falling back to
+// PROPFIND for collections (HEAD reports no size/type for them).
+func (c *Client) Stat(ctx context.Context, host, path string) (Info, error) {
+	resp, err := c.doFollow(ctx, host, path, func(h, p string) *wire.Request {
+		return wire.NewRequest("HEAD", h, p)
+	})
+	if err != nil {
+		return Info{}, err
+	}
+	if resp.StatusCode != 200 {
+		resp.Close()
+		// Collections on some servers refuse HEAD; try PROPFIND.
+		if resp.StatusCode == 404 {
+			return Info{}, &StatusError{Code: 404, Status: resp.Status, Method: "HEAD", Path: path}
+		}
+		return c.statPropfind(ctx, host, path)
+	}
+	inf := Info{Path: path, Checksum: resp.Header.Get("X-Checksum")}
+	if cl := resp.Header.Get("Content-Length"); cl != "" {
+		inf.Size, _ = strconv.ParseInt(cl, 10, 64)
+	}
+	if lm := resp.Header.Get("Last-Modified"); lm != "" {
+		if t, err := time.Parse(time.RFC1123, lm); err == nil {
+			inf.ModTime = t
+		}
+	}
+	resp.Close()
+	return inf, nil
+}
+
+func (c *Client) statPropfind(ctx context.Context, host, path string) (Info, error) {
+	entries, err := c.propfind(ctx, host, path, "0")
+	if err != nil {
+		return Info{}, err
+	}
+	if len(entries) == 0 {
+		return Info{}, &StatusError{Code: 404, Status: "404 Not Found", Method: "PROPFIND", Path: path}
+	}
+	e := entries[0]
+	return Info{Path: e.Href, Size: e.Size, Dir: e.Dir, ModTime: e.ModTime}, nil
+}
+
+// List returns the entries of the collection at host/path (PROPFIND depth
+// 1, without the collection itself).
+func (c *Client) List(ctx context.Context, host, path string) ([]Info, error) {
+	entries, err := c.propfind(ctx, host, path, "1")
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]Info, 0, len(entries))
+	for i, e := range entries {
+		if i == 0 && e.Dir {
+			continue // the collection itself
+		}
+		infos = append(infos, Info{Path: e.Href, Size: e.Size, Dir: e.Dir, ModTime: e.ModTime})
+	}
+	return infos, nil
+}
+
+func (c *Client) propfind(ctx context.Context, host, path, depth string) ([]webdav.Entry, error) {
+	req := wire.NewRequest("PROPFIND", host, path)
+	req.Header.Set("Depth", depth)
+	resp, err := c.Do(ctx, host, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != 207 {
+		return nil, statusErr(resp, "PROPFIND", path)
+	}
+	body, err := resp.ReadAllAndClose()
+	if err != nil {
+		return nil, err
+	}
+	return webdav.DecodeMultistatus(body)
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"godavix/internal/rangev"
+	"godavix/internal/wire"
+)
+
+// ReadVec performs the paper's §2.3 vectored read: the requested fragments
+// are coalesced (data sieving with Options.CoalesceGap), shipped as one or
+// more HTTP multi-range requests, and the multipart/byteranges responses
+// are scattered back into dsts. dsts[i] receives ranges[i] and must be at
+// least ranges[i].Len bytes long.
+//
+// One network round trip typically serves hundreds of fragment reads,
+// which is what lets HTTP compete with the HPC protocols' aggressive
+// caching in the paper's Figure 4.
+func (c *Client) ReadVec(ctx context.Context, host, path string, ranges []rangev.Range, dsts [][]byte) error {
+	if err := validateVec(ranges, dsts); err != nil {
+		return err
+	}
+	return c.withFailover(ctx, host, path, func(r Replica) error {
+		return c.readVecOnce(ctx, r.Host, r.Path, ranges, dsts)
+	})
+}
+
+// validateVec checks the request shape before any network traffic, so
+// caller bugs never trigger replica failover.
+func validateVec(ranges []rangev.Range, dsts [][]byte) error {
+	if err := rangev.Validate(ranges); err != nil {
+		return err
+	}
+	if len(dsts) != len(ranges) {
+		return fmt.Errorf("davix: %d ranges but %d destination buffers", len(ranges), len(dsts))
+	}
+	for i, r := range ranges {
+		if int64(len(dsts[i])) < r.Len {
+			return fmt.Errorf("davix: destination %d too small: %d < %d", i, len(dsts[i]), r.Len)
+		}
+	}
+	return nil
+}
+
+// readVecOnce executes the vectored read against exactly one replica.
+func (c *Client) readVecOnce(ctx context.Context, host, path string, ranges []rangev.Range, dsts [][]byte) error {
+	if err := validateVec(ranges, dsts); err != nil {
+		return err
+	}
+	frames := rangev.Coalesce(ranges, c.opts.CoalesceGap)
+	for start := 0; start < len(frames); start += c.opts.MaxRangesPerRequest {
+		end := start + c.opts.MaxRangesPerRequest
+		if end > len(frames) {
+			end = len(frames)
+		}
+		if err := c.readVecBatch(ctx, host, path, frames[start:end], ranges, dsts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readVecBatch executes one multi-range request for a batch of frames.
+func (c *Client) readVecBatch(ctx context.Context, host, path string, frames []rangev.Frame, ranges []rangev.Range, dsts [][]byte) error {
+	resp, err := c.doFollow(ctx, host, path, func(h, p string) *wire.Request {
+		req := wire.NewRequest("GET", h, p)
+		req.Header.Set("Range", rangev.RangeHeader(frames))
+		return req
+	})
+	if err != nil {
+		return err
+	}
+
+	switch resp.StatusCode {
+	case 206:
+		if boundary, ok := rangev.IsMultipartByteranges(resp.Header.Get("Content-Type")); ok {
+			parts, perr := rangev.ReadMultipart(resp.Body, boundary)
+			if cerr := resp.Close(); perr == nil {
+				perr = cerr
+			}
+			if perr != nil {
+				return perr
+			}
+			return rangev.ScatterParts(parts, frames, ranges, dsts)
+		}
+		// Single Content-Range part: the server coalesced (or we sent one
+		// frame); scatter straight out of the body.
+		off, length, _, err := rangev.ParseContentRange(resp.Header.Get("Content-Range"))
+		if err != nil {
+			resp.Discard()
+			resp.Close()
+			return fmt.Errorf("%w: %v", ErrVectorUnsupported, err)
+		}
+		data := make([]byte, length)
+		if _, err := io.ReadFull(resp.Body, data); err != nil {
+			resp.Close()
+			return err
+		}
+		if err := resp.Close(); err != nil {
+			return err
+		}
+		for _, f := range frames {
+			if f.Off < off || f.End() > off+length {
+				return fmt.Errorf("%w: single part [%d,+%d) does not cover frame [%d,+%d)",
+					ErrVectorUnsupported, off, length, f.Off, f.Len)
+			}
+			if err := rangev.Scatter(f, off, data, ranges, dsts); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case 200:
+		// Range-ignorant server: the full body covers every frame.
+		body, err := resp.ReadAllAndClose()
+		if err != nil {
+			return err
+		}
+		for _, f := range frames {
+			if f.End() > int64(len(body)) {
+				return fmt.Errorf("%w: body size %d < frame end %d", ErrVectorUnsupported, len(body), f.End())
+			}
+			if err := rangev.Scatter(f, 0, body, ranges, dsts); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	default:
+		return statusErr(resp, "GET(vector)", path)
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"godavix/internal/metalink"
+	"godavix/internal/wire"
+)
+
+// ErrTooManyRedirects is returned when a redirect chain exceeds
+// Options.MaxRedirects.
+var ErrTooManyRedirects = errors.New("davix: too many redirects")
+
+// isRedirect reports whether code is a followable 3xx.
+func isRedirect(code int) bool {
+	switch code {
+	case 301, 302, 303, 307, 308:
+		return true
+	}
+	return false
+}
+
+// doFollow executes a request built by build against host/path, following
+// 3xx redirects up to Options.MaxRedirects. DPM-style storage systems
+// answer data operations on the head node with a redirect to the disk
+// node actually holding the data; davix follows transparently, keeping
+// pooled sessions to both nodes warm.
+//
+// build is invoked once per hop so requests with bodies can be replayed.
+func (c *Client) doFollow(ctx context.Context, host, path string, build func(host, path string) *wire.Request) (*Response, error) {
+	for hop := 0; hop <= c.opts.MaxRedirects; hop++ {
+		resp, err := c.Do(ctx, host, build(host, path))
+		if err != nil {
+			return nil, err
+		}
+		if !isRedirect(resp.StatusCode) {
+			return resp, nil
+		}
+		loc := resp.Header.Get("Location")
+		resp.Discard()
+		resp.Close()
+		if loc == "" {
+			return nil, fmt.Errorf("davix: redirect %d without Location from %s", resp.StatusCode, host)
+		}
+		h, p, err := metalink.SplitURL(loc)
+		if err != nil {
+			return nil, fmt.Errorf("davix: bad redirect Location %q: %w", loc, err)
+		}
+		host, path = h, p
+	}
+	return nil, fmt.Errorf("%w (> %d hops)", ErrTooManyRedirects, c.opts.MaxRedirects)
+}

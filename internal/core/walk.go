@@ -1,0 +1,53 @@
+package core
+
+import (
+	"context"
+	"errors"
+)
+
+// SkipDir can be returned from a WalkFunc to skip descending into the
+// current collection.
+var SkipDir = errors.New("davix: skip this directory")
+
+// WalkFunc is invoked once per namespace entry during Walk.
+type WalkFunc func(info Info) error
+
+// Walk traverses the remote namespace rooted at host/path depth-first in
+// lexical order (the davix-ls -r behaviour), calling fn for every entry
+// including the root. Collections are enumerated with PROPFIND depth 1;
+// fn may return SkipDir to prune a subtree or any other error to abort.
+func (c *Client) Walk(ctx context.Context, host, path string, fn WalkFunc) error {
+	inf, err := c.Stat(ctx, host, path)
+	if err != nil {
+		return err
+	}
+	return c.walk(ctx, host, inf, fn)
+}
+
+func (c *Client) walk(ctx context.Context, host string, inf Info, fn WalkFunc) error {
+	if err := fn(inf); err != nil {
+		if err == SkipDir && inf.Dir {
+			return nil
+		}
+		if err == SkipDir {
+			return nil
+		}
+		return err
+	}
+	if !inf.Dir {
+		return nil
+	}
+	entries, err := c.List(ctx, host, inf.Path)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err := c.walk(ctx, host, e, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

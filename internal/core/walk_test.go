@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"godavix/internal/httpserv"
+)
+
+func buildTree(t *testing.T, e *testEnv) {
+	t.Helper()
+	st := e.stores[dpm1]
+	st.Put("/data/run1/a.rnt", []byte("aa"))
+	st.Put("/data/run1/b.rnt", []byte("bbb"))
+	st.Put("/data/run2/c.rnt", []byte("c"))
+	st.Put("/data/readme", []byte("r"))
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	e := newEnv(t, Options{Strategy: StrategyNone})
+	e.startServer(t, dpm1, httpserv.Options{})
+	buildTree(t, e)
+
+	var paths []string
+	err := e.client.Walk(context.Background(), dpm1, "/data", func(inf Info) error {
+		paths = append(paths, inf.Path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"/data",
+		"/data/readme",
+		"/data/run1",
+		"/data/run1/a.rnt",
+		"/data/run1/b.rnt",
+		"/data/run2",
+		"/data/run2/c.rnt",
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("paths = %v", paths)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("paths[%d] = %q, want %q (all: %v)", i, paths[i], want[i], paths)
+		}
+	}
+}
+
+func TestWalkSkipDir(t *testing.T) {
+	e := newEnv(t, Options{Strategy: StrategyNone})
+	e.startServer(t, dpm1, httpserv.Options{})
+	buildTree(t, e)
+
+	var paths []string
+	err := e.client.Walk(context.Background(), dpm1, "/data", func(inf Info) error {
+		if inf.Path == "/data/run1" {
+			return SkipDir
+		}
+		paths = append(paths, inf.Path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if p == "/data/run1/a.rnt" || p == "/data/run1/b.rnt" {
+			t.Fatalf("descended into skipped dir: %v", paths)
+		}
+	}
+}
+
+func TestWalkAbortsOnError(t *testing.T) {
+	e := newEnv(t, Options{Strategy: StrategyNone})
+	e.startServer(t, dpm1, httpserv.Options{})
+	buildTree(t, e)
+
+	boom := errors.New("boom")
+	count := 0
+	err := e.client.Walk(context.Background(), dpm1, "/data", func(inf Info) error {
+		count++
+		if count == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if count != 2 {
+		t.Fatalf("visited %d entries after abort", count)
+	}
+}
+
+func TestWalkSingleFile(t *testing.T) {
+	e := newEnv(t, Options{Strategy: StrategyNone})
+	e.startServer(t, dpm1, httpserv.Options{})
+	e.stores[dpm1].Put("/lonely", []byte("x"))
+
+	var paths []string
+	err := e.client.Walk(context.Background(), dpm1, "/lonely", func(inf Info) error {
+		paths = append(paths, inf.Path)
+		return nil
+	})
+	if err != nil || len(paths) != 1 || paths[0] != "/lonely" {
+		t.Fatalf("paths = %v err = %v", paths, err)
+	}
+}
+
+func TestWalkMissingRoot(t *testing.T) {
+	e := newEnv(t, Options{Strategy: StrategyNone})
+	e.startServer(t, dpm1, httpserv.Options{})
+	err := e.client.Walk(context.Background(), dpm1, "/ghost", func(Info) error { return nil })
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,410 @@
+// Package httpserv implements the storage-server side of the paper's
+// testbed: a DPM-like HTTP/1.1 + WebDAV front-end over a storage.Store.
+//
+// It intentionally builds on net/http: the paper's whole argument is that
+// davix talks to *standard* HTTP services, so the server here is a stock
+// HTTP stack (with single- and multi-range support via http.ServeContent)
+// while the client side is the custom optimized layer. Knobs exist to
+// disable keep-alive (to measure the Figure-2 effect) and to inject faults
+// (to exercise the §2.4 Metalink failover).
+package httpserv
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"path"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"godavix/internal/metalink"
+	"godavix/internal/s3"
+	"godavix/internal/storage"
+	"godavix/internal/webdav"
+)
+
+// MetalinkProvider resolves the Metalink document for a namespace path.
+// Returning nil means no replica information is available.
+type MetalinkProvider func(path string) *metalink.Metalink
+
+// Options configures a Server.
+type Options struct {
+	// DisableKeepAlive forces Connection: close on every response,
+	// emulating an HTTP/1.0-era server (Figure 2 baseline).
+	DisableKeepAlive bool
+
+	// Metalinks, when set, answers Metalink negotiation (an Accept:
+	// application/metalink+xml GET, or ?metalink) for any path.
+	Metalinks MetalinkProvider
+
+	// Redirect, when set, lets this server act as a DPM head node: data
+	// operations (GET/HEAD/PUT) whose path it maps are answered with a
+	// 302 to the disk node returned ("http://disk1:80/pool/f"); metadata
+	// operations are always handled locally.
+	Redirect func(method, path string) (location string, ok bool)
+
+	// Authorize, when set, validates the Authorization header of every
+	// request; a false return yields 401.
+	Authorize func(authorization string) bool
+
+	// Copier, when set, enables WebDAV third-party COPY: the server
+	// pushes the source object to the URL in the Destination header
+	// through this client (HTTP-TPC push mode, as deployed on the WLCG).
+	// *core.Client satisfies this interface.
+	Copier Copier
+
+	// S3Secrets, when set, makes the server require a valid AWS SigV4
+	// signature on every request; it maps access keys to secrets
+	// (return "" for unknown keys).
+	S3Secrets func(accessKey string) string
+}
+
+// Copier pushes an object to another storage server.
+type Copier interface {
+	// Put uploads data to path on host.
+	Put(ctx context.Context, host, path string, data []byte) error
+}
+
+// Fault describes injected misbehaviour for a path ("*" matches all).
+type Fault struct {
+	// Status, when non-zero, is returned instead of serving the request.
+	Status int
+	// Delay is slept before handling (creates head-of-line blocking).
+	Delay time.Duration
+	// Abort, when true, kills the connection without writing a response
+	// (models a server crash mid-request).
+	Abort bool
+	// TruncateBody, when positive, serves only that many body bytes and
+	// then aborts the connection (models a transfer cut mid-stream).
+	TruncateBody int64
+	// Remaining, when positive, auto-expires the fault after that many
+	// requests; negative means unlimited.
+	Remaining int
+}
+
+// Server is a DPM-like storage server.
+type Server struct {
+	store storage.Store
+	opts  Options
+
+	mu     sync.Mutex
+	faults map[string]*Fault
+
+	requests atomic.Int64
+	byMethod sync.Map // method -> *atomic.Int64
+}
+
+// New creates a Server over store.
+func New(store storage.Store, opts Options) *Server {
+	return &Server{
+		store:  store,
+		opts:   opts,
+		faults: make(map[string]*Fault),
+	}
+}
+
+// SetFault installs (or replaces) a fault for path p ("*" = every path).
+func (s *Server) SetFault(p string, f Fault) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f.Remaining == 0 {
+		f.Remaining = -1
+	}
+	cp := f
+	s.faults[p] = &cp
+}
+
+// ClearFault removes the fault for p.
+func (s *Server) ClearFault(p string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.faults, p)
+}
+
+// takeFault fetches the active fault for p, consuming one use.
+func (s *Server) takeFault(p string) *Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, key := range []string{p, "*"} {
+		f, ok := s.faults[key]
+		if !ok {
+			continue
+		}
+		if f.Remaining > 0 {
+			f.Remaining--
+			if f.Remaining == 0 {
+				delete(s.faults, key)
+			}
+		}
+		cp := *f
+		return &cp
+	}
+	return nil
+}
+
+// Requests reports the total number of requests served.
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// RequestsByMethod reports how many requests used the given method.
+func (s *Server) RequestsByMethod(method string) int64 {
+	v, ok := s.byMethod.Load(method)
+	if !ok {
+		return 0
+	}
+	return v.(*atomic.Int64).Load()
+}
+
+// Serve runs an HTTP server on l until the listener is closed.
+func (s *Server) Serve(l net.Listener) error {
+	srv := &http.Server{Handler: s}
+	srv.SetKeepAlivesEnabled(!s.opts.DisableKeepAlive)
+	err := srv.Serve(l)
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	v, _ := s.byMethod.LoadOrStore(r.Method, &atomic.Int64{})
+	v.(*atomic.Int64).Add(1)
+
+	p := storage.Clean(r.URL.Path)
+
+	if s.opts.Authorize != nil && !s.opts.Authorize(r.Header.Get("Authorization")) {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="godavix", Basic realm="godavix"`)
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
+		return
+	}
+	if s.opts.S3Secrets != nil {
+		err := s3.VerifyRequest(r.Method, r.URL.RequestURI(), r.Host,
+			r.Header.Get("Authorization"), r.Header.Get("X-Amz-Date"),
+			r.Header.Get("X-Amz-Content-Sha256"), s.opts.S3Secrets, time.Now(), 0)
+		if err != nil {
+			http.Error(w, "signature verification failed: "+err.Error(), http.StatusForbidden)
+			return
+		}
+	}
+
+	if f := s.takeFault(p); f != nil {
+		if f.Delay > 0 {
+			time.Sleep(f.Delay)
+		}
+		if f.Abort {
+			panic(http.ErrAbortHandler)
+		}
+		if f.TruncateBody > 0 && r.Method == http.MethodGet {
+			s.serveTruncated(w, p, f.TruncateBody)
+			return
+		}
+		if f.Status != 0 {
+			http.Error(w, fmt.Sprintf("injected fault %d", f.Status), f.Status)
+			return
+		}
+	}
+	if s.opts.DisableKeepAlive {
+		w.Header().Set("Connection", "close")
+	}
+
+	// DPM head-node behaviour: hand data operations off to disk nodes.
+	if s.opts.Redirect != nil && !wantsMetalink(r) {
+		switch r.Method {
+		case http.MethodGet, http.MethodHead, http.MethodPut:
+			if loc, ok := s.opts.Redirect(r.Method, p); ok {
+				w.Header().Set("Location", loc)
+				w.WriteHeader(http.StatusFound)
+				return
+			}
+		}
+	}
+
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		s.serveGet(w, r, p)
+	case http.MethodPut:
+		s.servePut(w, r, p)
+	case "COPY":
+		s.serveCopy(w, r, p)
+	case http.MethodDelete:
+		s.serveDelete(w, p)
+	case "MKCOL":
+		s.serveMkcol(w, p)
+	case "PROPFIND":
+		s.servePropfind(w, r, p)
+	case http.MethodOptions:
+		w.Header().Set("Allow", "OPTIONS, GET, HEAD, PUT, DELETE, MKCOL, PROPFIND, COPY")
+		w.Header().Set("DAV", "1")
+		w.WriteHeader(http.StatusOK)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// wantsMetalink reports whether the request negotiates a Metalink document.
+func wantsMetalink(r *http.Request) bool {
+	if r.URL.Query().Has("metalink") {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), metalink.MediaType)
+}
+
+func (s *Server) serveGet(w http.ResponseWriter, r *http.Request, p string) {
+	if s.opts.Metalinks != nil && wantsMetalink(r) {
+		if ml := s.opts.Metalinks(p); ml != nil {
+			body, err := metalink.Encode(ml)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", metalink.MediaType)
+			w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+			w.WriteHeader(http.StatusOK)
+			if r.Method != http.MethodHead {
+				w.Write(body)
+			}
+			return
+		}
+		http.Error(w, "no metalink available", http.StatusNotFound)
+		return
+	}
+
+	data, inf, err := s.store.Get(p)
+	if err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	w.Header().Set("Accept-Ranges", "bytes")
+	w.Header().Set("X-Checksum", inf.Checksum)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	// ServeContent implements If-Range, single-range (206 +
+	// Content-Range) and multi-range (multipart/byteranges) semantics —
+	// the standards-compliant server behaviour the davix client targets.
+	http.ServeContent(w, r, path.Base(p), inf.ModTime, bytes.NewReader(data))
+}
+
+func (s *Server) servePut(w http.ResponseWriter, r *http.Request, p string) {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.store.Put(p, data); err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *Server) serveDelete(w http.ResponseWriter, p string) {
+	if err := s.store.Delete(p); err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) serveMkcol(w http.ResponseWriter, p string) {
+	if err := s.store.Mkdir(p); err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *Server) servePropfind(w http.ResponseWriter, r *http.Request, p string) {
+	inf, err := s.store.Stat(p)
+	if err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	entries := []webdav.Entry{{Href: inf.Path, Size: inf.Size, Dir: inf.Dir, ModTime: inf.ModTime}}
+	if inf.Dir && r.Header.Get("Depth") != "0" {
+		children, err := s.store.List(p)
+		if err != nil {
+			writeStoreErr(w, err)
+			return
+		}
+		for _, c := range children {
+			entries = append(entries, webdav.Entry{Href: c.Path, Size: c.Size, Dir: c.Dir, ModTime: c.ModTime})
+		}
+	}
+	body, err := webdav.EncodeMultistatus(entries)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", webdav.ContentType)
+	w.WriteHeader(http.StatusMultiStatus)
+	w.Write(body)
+}
+
+// serveTruncated declares the full object length but sends only n bytes
+// before killing the connection, so the client observes a mid-body cut.
+func (s *Server) serveTruncated(w http.ResponseWriter, p string, n int64) {
+	data, _, err := s.store.Get(p)
+	if err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	if n > int64(len(data)) {
+		n = int64(len(data))
+	}
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(data[:n])
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// serveCopy implements third-party push copy: the object at p is uploaded
+// to the Destination URL by the server itself, so the data never flows
+// through the requesting client — the WLCG HTTP-TPC pattern.
+func (s *Server) serveCopy(w http.ResponseWriter, r *http.Request, p string) {
+	if s.opts.Copier == nil {
+		http.Error(w, "third-party copy not enabled", http.StatusNotImplemented)
+		return
+	}
+	dest := r.Header.Get("Destination")
+	if dest == "" {
+		http.Error(w, "missing Destination header", http.StatusBadRequest)
+		return
+	}
+	dHost, dPath, err := metalink.SplitURL(dest)
+	if err != nil {
+		http.Error(w, "bad Destination: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	data, _, err := s.store.Get(p)
+	if err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	if err := s.opts.Copier.Put(r.Context(), dHost, dPath, data); err != nil {
+		http.Error(w, "push failed: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+func writeStoreErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, storage.ErrNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, storage.ErrExists):
+		http.Error(w, err.Error(), http.StatusMethodNotAllowed)
+	case errors.Is(err, storage.ErrIsDir), errors.Is(err, storage.ErrNotDir):
+		http.Error(w, err.Error(), http.StatusConflict)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

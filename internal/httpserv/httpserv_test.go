@@ -1,0 +1,358 @@
+package httpserv
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"godavix/internal/metalink"
+	"godavix/internal/rangev"
+	"godavix/internal/storage"
+	"godavix/internal/webdav"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server, storage.Store) {
+	t.Helper()
+	st := storage.NewMemStore()
+	srv := New(st, opts)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts, st
+}
+
+func TestGetPutDeleteLifecycle(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{})
+
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/store/f", strings.NewReader("hello dpm"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT status = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/store/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "hello dpm" {
+		t.Fatalf("GET body = %q", body)
+	}
+	if resp.Header.Get("X-Checksum") == "" || resp.Header.Get("Accept-Ranges") != "bytes" {
+		t.Fatalf("headers = %+v", resp.Header)
+	}
+
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/store/f", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE status = %d", resp.StatusCode)
+	}
+
+	resp, _ = http.Get(ts.URL + "/store/f")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET after delete = %d", resp.StatusCode)
+	}
+}
+
+func TestSingleRange(t *testing.T) {
+	_, ts, st := newTestServer(t, Options{})
+	st.Put("/f", []byte("0123456789"))
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/f", nil)
+	req.Header.Set("Range", "bytes=2-5")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "2345" {
+		t.Fatalf("body = %q", body)
+	}
+	off, length, total, err := rangev.ParseContentRange(resp.Header.Get("Content-Range"))
+	if err != nil || off != 2 || length != 4 || total != 10 {
+		t.Fatalf("content-range: %d %d %d %v", off, length, total, err)
+	}
+}
+
+func TestMultiRangeMultipart(t *testing.T) {
+	_, ts, st := newTestServer(t, Options{})
+	blob := make([]byte, 1000)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	st.Put("/f", blob)
+
+	ranges := []rangev.Range{{Off: 10, Len: 5}, {Off: 500, Len: 20}, {Off: 990, Len: 10}}
+	frames := rangev.Coalesce(ranges, 0)
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/f", nil)
+	req.Header.Set("Range", rangev.RangeHeader(frames))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	boundary, ok := rangev.IsMultipartByteranges(resp.Header.Get("Content-Type"))
+	if !ok {
+		t.Fatalf("content-type = %q", resp.Header.Get("Content-Type"))
+	}
+	parts, err := rangev.ReadMultipart(resp.Body, boundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	dsts := make([][]byte, len(ranges))
+	for i := range dsts {
+		dsts[i] = make([]byte, ranges[i].Len)
+	}
+	if err := rangev.ScatterParts(parts, frames, ranges, dsts); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ranges {
+		want := blob[r.Off:r.End()]
+		if string(dsts[i]) != string(want) {
+			t.Fatalf("range %d mismatch", i)
+		}
+	}
+}
+
+func TestHeadReportsSize(t *testing.T) {
+	_, ts, st := newTestServer(t, Options{})
+	st.Put("/f", make([]byte, 12345))
+	resp, err := http.Head(ts.URL + "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.ContentLength != 12345 {
+		t.Fatalf("content-length = %d", resp.ContentLength)
+	}
+}
+
+func TestMkcolAndPropfind(t *testing.T) {
+	_, ts, st := newTestServer(t, Options{})
+	req, _ := http.NewRequest("MKCOL", ts.URL+"/data", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("MKCOL = %d", resp.StatusCode)
+	}
+	st.Put("/data/a", []byte("1"))
+	st.Put("/data/b", []byte("22"))
+
+	req, _ = http.NewRequest("PROPFIND", ts.URL+"/data", nil)
+	req.Header.Set("Depth", "1")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMultiStatus {
+		t.Fatalf("PROPFIND = %d", resp.StatusCode)
+	}
+	entries, err := webdav.DecodeMultistatus(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self + two children.
+	if len(entries) != 3 || !entries[0].Dir || entries[1].Href != "/data/a" || entries[2].Size != 2 {
+		t.Fatalf("entries = %+v", entries)
+	}
+
+	// Depth 0: only self.
+	req, _ = http.NewRequest("PROPFIND", ts.URL+"/data", nil)
+	req.Header.Set("Depth", "0")
+	resp, _ = http.DefaultClient.Do(req)
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	entries, _ = webdav.DecodeMultistatus(body)
+	if len(entries) != 1 {
+		t.Fatalf("depth 0 entries = %d", len(entries))
+	}
+}
+
+func TestMetalinkNegotiation(t *testing.T) {
+	ml := &metalink.Metalink{
+		Name: "f",
+		Size: 3,
+		URLs: []metalink.URL{{Loc: "http://dpm2:80/f", Priority: 1}},
+	}
+	_, ts, st := newTestServer(t, Options{
+		Metalinks: func(p string) *metalink.Metalink {
+			if p == "/f" {
+				return ml
+			}
+			return nil
+		},
+	})
+	st.Put("/f", []byte("abc"))
+
+	// Plain GET returns data.
+	resp, _ := http.Get(ts.URL + "/f")
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "abc" {
+		t.Fatalf("plain GET = %q", body)
+	}
+
+	// Accept negotiation returns the metalink.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/f", nil)
+	req.Header.Set("Accept", metalink.MediaType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != metalink.MediaType {
+		t.Fatalf("content-type = %q", got)
+	}
+	decoded, err := metalink.Decode(body)
+	if err != nil || decoded.URLs[0].Loc != "http://dpm2:80/f" {
+		t.Fatalf("decoded = %+v err=%v", decoded, err)
+	}
+
+	// Query-string negotiation too.
+	resp, _ = http.Get(ts.URL + "/f?metalink")
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if _, err := metalink.Decode(body); err != nil {
+		t.Fatalf("?metalink decode: %v", err)
+	}
+
+	// Unknown path: 404.
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/other", nil)
+	req.Header.Set("Accept", metalink.MediaType)
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing metalink status = %d", resp.StatusCode)
+	}
+}
+
+func TestFaultStatusInjection(t *testing.T) {
+	srv, ts, st := newTestServer(t, Options{})
+	st.Put("/f", []byte("x"))
+	srv.SetFault("/f", Fault{Status: http.StatusServiceUnavailable, Remaining: 2})
+
+	for i := 0; i < 2; i++ {
+		resp, _ := http.Get(ts.URL + "/f")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("request %d status = %d", i, resp.StatusCode)
+		}
+	}
+	// Fault expired after two uses.
+	resp, _ := http.Get(ts.URL + "/f")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status after fault expiry = %d", resp.StatusCode)
+	}
+}
+
+func TestFaultDelay(t *testing.T) {
+	srv, ts, st := newTestServer(t, Options{})
+	st.Put("/slow", []byte("x"))
+	srv.SetFault("/slow", Fault{Delay: 50 * time.Millisecond})
+	start := time.Now()
+	resp, _ := http.Get(ts.URL + "/slow")
+	resp.Body.Close()
+	if time.Since(start) < 50*time.Millisecond {
+		t.Fatal("delay fault not applied")
+	}
+}
+
+func TestWildcardFault(t *testing.T) {
+	srv, ts, st := newTestServer(t, Options{})
+	st.Put("/a", []byte("x"))
+	srv.SetFault("*", Fault{Status: 500, Remaining: 1})
+	resp, _ := http.Get(ts.URL + "/a")
+	resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Fatalf("wildcard fault status = %d", resp.StatusCode)
+	}
+	srv.ClearFault("*")
+	resp, _ = http.Get(ts.URL + "/a")
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("after clear = %d", resp.StatusCode)
+	}
+}
+
+func TestDisableKeepAlive(t *testing.T) {
+	_, ts, st := newTestServer(t, Options{DisableKeepAlive: true})
+	st.Put("/f", []byte("x"))
+	resp, err := http.Get(ts.URL + "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !resp.Close && resp.Header.Get("Connection") != "close" {
+		t.Fatal("keep-alive not disabled")
+	}
+}
+
+func TestRequestCounters(t *testing.T) {
+	srv, ts, st := newTestServer(t, Options{})
+	st.Put("/f", []byte("x"))
+	for i := 0; i < 3; i++ {
+		resp, _ := http.Get(fmt.Sprintf("%s/f?i=%d", ts.URL, i))
+		resp.Body.Close()
+	}
+	resp, _ := http.Head(ts.URL + "/f")
+	resp.Body.Close()
+	if srv.Requests() != 4 {
+		t.Fatalf("requests = %d", srv.Requests())
+	}
+	if srv.RequestsByMethod("GET") != 3 || srv.RequestsByMethod("HEAD") != 1 {
+		t.Fatalf("by method: GET=%d HEAD=%d",
+			srv.RequestsByMethod("GET"), srv.RequestsByMethod("HEAD"))
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{})
+	req, _ := http.NewRequest("PATCH", ts.URL+"/f", nil)
+	resp, _ := http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestOptionsAdvertisesDAV(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{})
+	req, _ := http.NewRequest(http.MethodOptions, ts.URL+"/", nil)
+	resp, _ := http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.Header.Get("DAV") != "1" || !strings.Contains(resp.Header.Get("Allow"), "PROPFIND") {
+		t.Fatalf("headers = %+v", resp.Header)
+	}
+}

@@ -1,0 +1,159 @@
+package metalink
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Metalink {
+	return &Metalink{
+		Name:     "f.rnt",
+		Size:     700 << 20,
+		Checksum: "adler32:0011aabb",
+		URLs: []URL{
+			{Loc: "http://dpm1:80/store/f.rnt", Priority: 1},
+			{Loc: "http://dpm2:80/store/f.rnt", Priority: 2},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := sample()
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), Namespace) {
+		t.Fatal("namespace missing from document")
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestDecodeSortsByPriority(t *testing.T) {
+	m := &Metalink{
+		Name: "f",
+		Size: 1,
+		URLs: []URL{
+			{Loc: "http://c/f", Priority: 3},
+			{Loc: "http://a/f", Priority: 1},
+			{Loc: "http://b/f", Priority: 2},
+		},
+	}
+	data, _ := Encode(m)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []string{"http://a/f", "http://b/f", "http://c/f"}
+	for i, u := range got.URLs {
+		if u.Loc != order[i] {
+			t.Fatalf("order = %+v", got.URLs)
+		}
+	}
+}
+
+func TestDecodeStableTieBreak(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+<metalink xmlns="urn:ietf:params:xml:ns:metalink">
+ <file name="f"><size>1</size>
+  <url priority="1">http://first/f</url>
+  <url priority="1">http://second/f</url>
+ </file>
+</metalink>`
+	got, err := Decode([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.URLs[0].Loc != "http://first/f" {
+		t.Fatalf("tie break not stable: %+v", got.URLs)
+	}
+}
+
+func TestDecodeMissingPieces(t *testing.T) {
+	if _, err := Decode([]byte(`<metalink xmlns="x"></metalink>`)); err != ErrNoFile {
+		t.Fatalf("err = %v", err)
+	}
+	doc := `<metalink xmlns="x"><file name="f"><size>1</size></file></metalink>`
+	if _, err := Decode([]byte(doc)); err != ErrNoURLs {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Decode([]byte("not xml at all")); err == nil {
+		t.Fatal("expected xml error")
+	}
+}
+
+func TestDecodeUnknownSize(t *testing.T) {
+	doc := `<metalink xmlns="x"><file name="f"><url>http://a/f</url></file></metalink>`
+	got, err := Decode([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != -1 {
+		t.Fatalf("size = %d, want -1", got.Size)
+	}
+}
+
+func TestEncodeRequiresURLs(t *testing.T) {
+	if _, err := Encode(&Metalink{Name: "f"}); err != ErrNoURLs {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSplitURL(t *testing.T) {
+	cases := []struct {
+		in, host, path string
+		wantErr        bool
+	}{
+		{"http://dpm1:80/store/f.rnt", "dpm1:80", "/store/f.rnt", false},
+		{"dpm1:80/store/f.rnt", "dpm1:80", "/store/f.rnt", false},
+		{"http://host:1", "host:1", "/", false},
+		{"ftp://h/f", "", "", true},
+		{"http:///f", "", "", true},
+	}
+	for _, c := range cases {
+		host, path, err := SplitURL(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("SplitURL(%q) err = %v", c.in, err)
+			continue
+		}
+		if err == nil && (host != c.host || path != c.path) {
+			t.Errorf("SplitURL(%q) = %q %q, want %q %q", c.in, host, path, c.host, c.path)
+		}
+	}
+}
+
+// TestRoundTripProperty: arbitrary replica sets survive encode/decode.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		count := int(n%8) + 1
+		m := &Metalink{Name: "obj", Size: r.Int63()}
+		for i := 0; i < count; i++ {
+			m.URLs = append(m.URLs, URL{
+				Loc:      "http://host" + string(rune('a'+i)) + ":80/p",
+				Priority: i + 1,
+			})
+		}
+		data, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,435 @@
+package netsim
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// echoServer accepts one connection and echoes everything back.
+func echoServer(t *testing.T, l net.Listener) {
+	t.Helper()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c)
+			}(c)
+		}
+	}()
+}
+
+func TestDialRequiresListener(t *testing.T) {
+	n := New(Ideal())
+	if _, err := n.Dial("nobody:1"); err == nil {
+		t.Fatal("expected dial error for missing listener")
+	}
+}
+
+func TestRoundTripBytes(t *testing.T) {
+	n := New(Ideal())
+	l, err := n.Listen("echo:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	echoServer(t, l)
+
+	c, err := n.Dial("echo:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	msg := []byte("hello simulated world")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo mismatch: %q != %q", got, msg)
+	}
+}
+
+// TestOrderingAndIntegrity is the core property: bytes arrive uncorrupted
+// and in order regardless of write sizing.
+func TestOrderingAndIntegrity(t *testing.T) {
+	prop := func(chunks [][]byte) bool {
+		n := New(Profile{Name: "t", RTT: 100 * time.Microsecond})
+		l, err := n.Listen("s:1")
+		if err != nil {
+			return false
+		}
+		defer l.Close()
+
+		var want bytes.Buffer
+		for _, c := range chunks {
+			want.Write(c)
+		}
+
+		done := make(chan []byte, 1)
+		go func() {
+			c, err := l.Accept()
+			if err != nil {
+				done <- nil
+				return
+			}
+			defer c.Close()
+			b, _ := io.ReadAll(c)
+			done <- b
+		}()
+
+		c, err := n.Dial("s:1")
+		if err != nil {
+			return false
+		}
+		for _, chunk := range chunks {
+			if _, err := c.Write(chunk); err != nil {
+				return false
+			}
+		}
+		c.Close()
+		got := <-done
+		return bytes.Equal(got, want.Bytes())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseGivesEOFAfterDrain(t *testing.T) {
+	n := New(Profile{RTT: time.Millisecond})
+	l, _ := n.Listen("s:1")
+	defer l.Close()
+
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		c.Write([]byte("tail"))
+		c.Close()
+	}()
+
+	c, err := n.Dial("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "tail" {
+		t.Fatalf("got %q, want %q", b, "tail")
+	}
+}
+
+func TestAbortFailsBothSides(t *testing.T) {
+	n := New(Ideal())
+	l, _ := n.Listen("s:1")
+	defer l.Close()
+
+	srvConn := make(chan net.Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		srvConn <- c
+	}()
+	c, err := n.Dial("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := <-srvConn
+	c.(*Conn).Abort()
+
+	if _, err := s.Read(make([]byte, 1)); err != ErrAborted {
+		t.Fatalf("server read err = %v, want ErrAborted", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); err != ErrAborted {
+		t.Fatalf("client read err = %v, want ErrAborted", err)
+	}
+}
+
+func TestSetDownRefusesDialsAndKillsConns(t *testing.T) {
+	n := New(Ideal())
+	l, _ := n.Listen("s:1")
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			_ = c
+		}
+	}()
+
+	c, err := n.Dial("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetDown("s:1", true)
+	if _, err := n.Dial("s:1"); err == nil {
+		t.Fatal("expected dial to down host to fail")
+	}
+	if _, err := c.Read(make([]byte, 1)); err != ErrAborted {
+		t.Fatalf("existing conn read err = %v, want ErrAborted", err)
+	}
+
+	n.SetDown("s:1", false)
+	if _, err := n.Dial("s:1"); err != nil {
+		t.Fatalf("dial after recovery: %v", err)
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	n := New(Ideal())
+	l, _ := n.Listen("s:1")
+	defer l.Close()
+	go func() {
+		c, _ := l.Accept()
+		_ = c // never writes
+	}()
+	c, err := n.Dial("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(10 * time.Millisecond))
+	_, err = c.Read(make([]byte, 1))
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("err = %v, want timeout net.Error", err)
+	}
+	// Clearing the deadline makes the connection usable again.
+	c.SetReadDeadline(time.Time{})
+}
+
+func TestDialContextCancel(t *testing.T) {
+	p := Ideal()
+	p.RTT = time.Second
+	p.HandshakeRTTs = 5
+	n := New(p)
+	l, _ := n.Listen("s:1")
+	defer l.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := n.DialContext(ctx, "s:1")
+	if err == nil {
+		t.Fatal("expected context cancellation")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("dial did not honour context")
+	}
+}
+
+func TestHandshakeCostsRTT(t *testing.T) {
+	rtt := 20 * time.Millisecond
+	n := New(Profile{RTT: rtt, HandshakeRTTs: 1})
+	l, _ := n.Listen("s:1")
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	if _, err := n.Dial("s:1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got < rtt {
+		t.Fatalf("dial took %v, want >= %v handshake", got, rtt)
+	}
+}
+
+func TestPropagationDelayApplied(t *testing.T) {
+	rtt := 30 * time.Millisecond
+	n := New(Profile{RTT: rtt})
+	l, _ := n.Listen("s:1")
+	defer l.Close()
+	go func() {
+		c, _ := l.Accept()
+		c.Write([]byte("x"))
+	}()
+	c, err := n.Dial("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := io.ReadFull(c, make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got < rtt/2 {
+		t.Fatalf("one-way delivery took %v, want >= %v", got, rtt/2)
+	}
+}
+
+// TestSlowStartPenalizesFreshConnections verifies the core economics of
+// session recycling: sending the same payload twice on one connection is
+// faster the second time, and a warmed connection beats a fresh one.
+func TestSlowStartPenalizesFreshConnections(t *testing.T) {
+	prof := Profile{
+		RTT:       10 * time.Millisecond,
+		Bandwidth: 1 << 30,
+		SlowStart: true,
+		InitCwnd:  1024,
+		MaxCwnd:   1 << 20,
+	}
+	payload := 64 * 1024 // crosses several cwnd doublings
+
+	transferTime := func(s *shaper, n int) time.Duration {
+		now := time.Now()
+		at := s.schedule(now, n)
+		return at.Sub(now)
+	}
+
+	s := newShaper(prof, time.Now())
+	first := transferTime(&s, payload)
+	// Drain link-busy state for a fair second measurement.
+	s.linkFree = time.Now()
+	second := transferTime(&s, payload)
+	if second >= first {
+		t.Fatalf("warm transfer (%v) not faster than cold (%v)", second, first)
+	}
+	// After pushing well past MaxCwnd worth of data the window is fully open.
+	s.linkFree = time.Now()
+	s.schedule(time.Now(), 4<<20)
+	if !s.warm() {
+		t.Fatal("shaper should be warm after 4 MiB")
+	}
+}
+
+func TestShaperNoSlowStartWhenDisabled(t *testing.T) {
+	prof := Profile{RTT: 10 * time.Millisecond, Bandwidth: 1 << 30}
+	s := newShaper(prof, time.Now())
+	now := time.Now()
+	at := s.schedule(now, 1<<20)
+	// Only propagation + serialization: ~5ms + ~1ms.
+	if at.Sub(now) > 20*time.Millisecond {
+		t.Fatalf("unexpected stall without slow start: %v", at.Sub(now))
+	}
+}
+
+func TestConcurrentConnections(t *testing.T) {
+	n := New(Profile{RTT: time.Millisecond})
+	l, _ := n.Listen("s:1")
+	defer l.Close()
+	echoServer(t, l)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := n.Dial("s:1")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			msg := bytes.Repeat([]byte{byte(i)}, 1000)
+			if _, err := c.Write(msg); err != nil {
+				t.Error(err)
+				return
+			}
+			got := make([]byte, len(msg))
+			if _, err := io.ReadFull(c, got); err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(got, msg) {
+				t.Errorf("conn %d corrupted echo", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n.Dials() != 16 {
+		t.Fatalf("Dials() = %d, want 16", n.Dials())
+	}
+}
+
+func TestProfilesOrdered(t *testing.T) {
+	lan, pan, wan := LAN(), PAN(), WAN()
+	if !(lan.RTT < pan.RTT && pan.RTT < wan.RTT) {
+		t.Fatalf("profile RTTs not ordered: %v %v %v", lan.RTT, pan.RTT, wan.RTT)
+	}
+	for _, p := range []Profile{lan, pan, wan} {
+		if p.effMaxCwnd() <= 0 {
+			t.Fatalf("%s: expected derived BDP cap", p.Name)
+		}
+		if !p.SlowStart || p.HandshakeRTTs != 1 {
+			t.Fatalf("%s: expected slow start and 1 handshake RTT", p.Name)
+		}
+	}
+}
+
+func TestHostProfileOverride(t *testing.T) {
+	n := New(Ideal())
+	n.SetHostProfile("far:1", Profile{RTT: 40 * time.Millisecond, HandshakeRTTs: 1})
+	l, _ := n.Listen("far:1")
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	if _, err := n.Dial("far:1"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("host profile override not applied to handshake")
+	}
+}
+
+func TestListenDuplicateAddr(t *testing.T) {
+	n := New(Ideal())
+	l, err := n.Listen("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("s:1"); err == nil {
+		t.Fatal("expected duplicate listen to fail")
+	}
+	l.Close()
+	if _, err := n.Listen("s:1"); err != nil {
+		t.Fatalf("listen after close: %v", err)
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	n := New(Ideal())
+	l, _ := n.Listen("s:1")
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := n.Dial("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("expected write after close to fail")
+	}
+}

@@ -1,0 +1,88 @@
+package netsim
+
+import "time"
+
+// shaper converts byte counts into delivery times according to a Profile.
+// It models, per connection direction:
+//
+//   - propagation delay: RTT/2 added to every segment;
+//   - serialization delay: bytes / Bandwidth, with the link busy until the
+//     previous segment finished transmitting;
+//   - TCP slow start: a fresh connection may only have cwnd bytes
+//     outstanding per RTT window; every window boundary costs one RTT of
+//     stall and doubles cwnd up to MaxCwnd.
+//
+// The slow-start state persists across requests on the same connection,
+// which is precisely what makes the paper's session recycling profitable.
+type shaper struct {
+	prof     Profile
+	linkFree time.Time // when the serializing link becomes idle
+	cwnd     int64     // current congestion window (bytes per RTT)
+	inWindow int64     // bytes sent in the current window
+}
+
+func newShaper(p Profile, now time.Time) shaper {
+	return shaper{
+		prof:     p,
+		linkFree: now,
+		cwnd:     p.effInitCwnd(),
+	}
+}
+
+// schedule returns the arrival time of an n-byte segment written at now and
+// advances the shaper state.
+func (s *shaper) schedule(now time.Time, n int) time.Time {
+	start := now
+	if s.linkFree.After(start) {
+		start = s.linkFree
+	}
+
+	var stall time.Duration
+	if s.prof.SlowStart && s.prof.RTT > 0 {
+		stall = s.slowStartStall(int64(n))
+	}
+
+	var tx time.Duration
+	if s.prof.Bandwidth > 0 {
+		tx = time.Duration(float64(n) / float64(s.prof.Bandwidth) * float64(time.Second))
+	}
+
+	s.linkFree = start.Add(stall + tx)
+	return s.linkFree.Add(s.prof.RTT / 2)
+}
+
+// slowStartStall charges one RTT for every congestion-window boundary the
+// n new bytes cross, doubling cwnd at each boundary until MaxCwnd.
+func (s *shaper) slowStartStall(n int64) time.Duration {
+	maxCwnd := s.prof.effMaxCwnd()
+	var stall time.Duration
+	for n > 0 {
+		if maxCwnd > 0 && s.cwnd >= maxCwnd {
+			// Window fully opened: the bandwidth term alone governs.
+			s.inWindow += n
+			return stall
+		}
+		room := s.cwnd - s.inWindow
+		if n <= room {
+			s.inWindow += n
+			return stall
+		}
+		// Fill this window, then wait one RTT for the ACK clock and
+		// double the window.
+		n -= room
+		stall += s.prof.RTT
+		s.cwnd *= 2
+		if maxCwnd > 0 && s.cwnd > maxCwnd {
+			s.cwnd = maxCwnd
+		}
+		s.inWindow = 0
+	}
+	return stall
+}
+
+// warm reports whether the window has fully opened (no more slow-start
+// penalty on this connection).
+func (s *shaper) warm() bool {
+	maxCwnd := s.prof.effMaxCwnd()
+	return !s.prof.SlowStart || maxCwnd == 0 || s.cwnd >= maxCwnd
+}

@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestBandwidthShapingThroughput: measured throughput must sit near the
+// configured rate — within a factor of two above, never wildly below.
+func TestBandwidthShapingThroughput(t *testing.T) {
+	const bw = 64 << 20 // 64 MiB/s
+	n := New(Profile{RTT: time.Millisecond, Bandwidth: bw})
+	l, _ := n.Listen("s:1")
+	defer l.Close()
+	const size = 8 << 20
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 64<<10)
+		var sent int
+		for sent < size {
+			c.Write(buf)
+			sent += len(buf)
+		}
+		c.Close()
+	}()
+	c, err := n.Dial("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	got, _ := io.Copy(io.Discard, c)
+	elapsed := time.Since(start).Seconds()
+	if got < size {
+		t.Fatalf("received %d bytes", got)
+	}
+	rate := float64(got) / elapsed
+	if rate > bw*2 {
+		t.Fatalf("throughput %.1f MiB/s exceeds 2x configured %.1f MiB/s", rate/(1<<20), float64(bw)/(1<<20))
+	}
+	if rate < bw/4 {
+		t.Fatalf("throughput %.1f MiB/s below 1/4 of configured", rate/(1<<20))
+	}
+}
+
+// TestUnlimitedBandwidthIsFast: the ideal profile moves data at memory
+// speed (sanity check that shaping is actually bypassed).
+func TestUnlimitedBandwidthIsFast(t *testing.T) {
+	n := New(Ideal())
+	l, _ := n.Listen("s:1")
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		c.Write(make([]byte, 16<<20))
+		c.Close()
+	}()
+	c, _ := n.Dial("s:1")
+	start := time.Now()
+	io.Copy(io.Discard, c)
+	if time.Since(start) > time.Second {
+		t.Fatalf("ideal network took %v for 16 MiB", time.Since(start))
+	}
+}

@@ -1,0 +1,315 @@
+// Package pool implements the paper's dynamic connection pool with
+// thread-safe request dispatch and session recycling (paper §2.2, Figure 2).
+//
+// Instead of HTTP pipelining (head-of-line blocking) or a multiplexing
+// protocol change (SPDY/SCTP), davix keeps per-host lists of idle persistent
+// connections. Concurrent requests each borrow a connection — so the pool
+// grows proportionally to the level of concurrency — and return it for
+// recycling once the response body has been consumed. Aggressive KeepAlive
+// reuse maximizes TCP connection lifetime and amortizes both the handshake
+// and slow-start costs, which is exactly what makes HTTP competitive with
+// HPC protocols in the paper's LAN results.
+package pool
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// Dialer establishes transport connections; implemented by netsim.Network
+// and by net.Dialer adapters.
+type Dialer interface {
+	DialContext(ctx context.Context, addr string) (net.Conn, error)
+}
+
+// DialerFunc adapts a function to the Dialer interface.
+type DialerFunc func(ctx context.Context, addr string) (net.Conn, error)
+
+// DialContext calls f.
+func (f DialerFunc) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	return f(ctx, addr)
+}
+
+// Options configures a Pool. The zero value gives sensible defaults.
+type Options struct {
+	// MaxIdlePerHost bounds idle connections kept per host (default 64).
+	MaxIdlePerHost int
+
+	// MaxPerHost bounds total concurrent connections per host; 0 means
+	// unlimited ("pool size proportional to the level of concurrency", the
+	// paper's default behaviour).
+	MaxPerHost int
+
+	// IdleTTL discards idle connections older than this (default 60s).
+	IdleTTL time.Duration
+
+	// MaxUses recycles a connection at most this many times; 0 = unlimited.
+	// Some servers cap requests per connection; this models the client
+	// honouring that politely.
+	MaxUses int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIdlePerHost == 0 {
+		o.MaxIdlePerHost = 64
+	}
+	if o.IdleTTL == 0 {
+		o.IdleTTL = 60 * time.Second
+	}
+	return o
+}
+
+// Stats aggregates pool activity counters; used by the Figure 2 benches.
+type Stats struct {
+	// Dials counts new transport connections established.
+	Dials int64
+	// Reuses counts requests served on a recycled connection.
+	Reuses int64
+	// Discards counts connections dropped (TTL, MaxUses, error, overflow).
+	Discards int64
+}
+
+// ErrPoolClosed is returned by Get after Close.
+var ErrPoolClosed = errors.New("pool: closed")
+
+// Pool is a per-host dynamic connection pool. It is safe for concurrent use.
+type Pool struct {
+	dialer Dialer
+	opts   Options
+
+	mu      sync.Mutex
+	idle    map[string][]*Conn // host -> LIFO stack of idle conns
+	active  map[string]int     // host -> borrowed + idle count
+	waiters map[string][]chan struct{}
+	closed  bool
+	stats   Stats
+}
+
+// New creates a Pool dialing through d.
+func New(d Dialer, opts Options) *Pool {
+	return &Pool{
+		dialer:  d,
+		opts:    opts.withDefaults(),
+		idle:    make(map[string][]*Conn),
+		active:  make(map[string]int),
+		waiters: make(map[string][]chan struct{}),
+	}
+}
+
+// Conn is a pooled connection with its buffered reader and usage accounting.
+type Conn struct {
+	netConn net.Conn
+	br      *bufio.Reader
+	host    string
+	pool    *Pool
+
+	uses     int
+	idleAt   time.Time
+	borrowed bool
+}
+
+// NetConn exposes the underlying transport connection.
+func (c *Conn) NetConn() net.Conn { return c.netConn }
+
+// Reader returns the buffered reader tied to the connection. Response
+// parsing must go through this reader so buffered bytes are not lost
+// across recycling.
+func (c *Conn) Reader() *bufio.Reader { return c.br }
+
+// Host returns the host this connection is bound to.
+func (c *Conn) Host() string { return c.host }
+
+// Uses reports how many times the connection has been borrowed.
+func (c *Conn) Uses() int { return c.uses }
+
+// Get borrows a connection to host, recycling an idle one when available,
+// dialing otherwise. When MaxPerHost is reached, Get blocks until a
+// connection is released or ctx is done.
+func (p *Pool) Get(ctx context.Context, host string) (*Conn, error) {
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, ErrPoolClosed
+		}
+		// Fast path: pop the most recently used idle connection (LIFO keeps
+		// sessions warm and lets surplus ones expire).
+		if stack := p.idle[host]; len(stack) > 0 {
+			c := stack[len(stack)-1]
+			p.idle[host] = stack[:len(stack)-1]
+			if time.Since(c.idleAt) > p.opts.IdleTTL {
+				p.active[host]--
+				p.stats.Discards++
+				p.mu.Unlock()
+				c.netConn.Close()
+				continue
+			}
+			c.borrowed = true
+			c.uses++
+			p.stats.Reuses++
+			p.mu.Unlock()
+			return c, nil
+		}
+		if p.opts.MaxPerHost > 0 && p.active[host] >= p.opts.MaxPerHost {
+			// At capacity: wait for a Put/Discard.
+			ch := make(chan struct{})
+			p.waiters[host] = append(p.waiters[host], ch)
+			p.mu.Unlock()
+			select {
+			case <-ch:
+				continue
+			case <-ctx.Done():
+				p.abandonWaiter(host, ch)
+				return nil, ctx.Err()
+			}
+		}
+		p.active[host]++
+		p.mu.Unlock()
+
+		nc, err := p.dialer.DialContext(ctx, host)
+		if err != nil {
+			p.mu.Lock()
+			p.active[host]--
+			p.notifyLocked(host)
+			p.mu.Unlock()
+			return nil, err
+		}
+		p.mu.Lock()
+		p.stats.Dials++
+		p.mu.Unlock()
+		return &Conn{
+			netConn:  nc,
+			br:       bufio.NewReaderSize(nc, 16*1024),
+			host:     host,
+			pool:     p,
+			uses:     1,
+			borrowed: true,
+		}, nil
+	}
+}
+
+// Put returns c to the pool for recycling. The caller asserts the
+// connection is positioned at a message boundary (response fully consumed)
+// and the server allowed keep-alive; otherwise use Discard.
+func (p *Pool) Put(c *Conn) {
+	if c == nil || !c.borrowed {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c.borrowed = false
+	drop := p.closed ||
+		(p.opts.MaxUses > 0 && c.uses >= p.opts.MaxUses) ||
+		len(p.idle[c.host]) >= p.opts.MaxIdlePerHost
+	if drop {
+		p.active[c.host]--
+		p.stats.Discards++
+		p.notifyLocked(c.host)
+		go c.netConn.Close()
+		return
+	}
+	c.idleAt = time.Now()
+	p.idle[c.host] = append(p.idle[c.host], c)
+	p.notifyLocked(c.host)
+}
+
+// Discard drops c without recycling (connection poisoned: protocol error,
+// unconsumed body, server sent Connection: close).
+func (p *Pool) Discard(c *Conn) {
+	if c == nil || !c.borrowed {
+		return
+	}
+	p.mu.Lock()
+	c.borrowed = false
+	p.active[c.host]--
+	p.stats.Discards++
+	p.notifyLocked(c.host)
+	p.mu.Unlock()
+	c.netConn.Close()
+}
+
+// notifyLocked wakes one waiter for host. Caller holds p.mu.
+func (p *Pool) notifyLocked(host string) {
+	if ws := p.waiters[host]; len(ws) > 0 {
+		close(ws[0])
+		p.waiters[host] = ws[1:]
+	}
+}
+
+func (p *Pool) abandonWaiter(host string, ch chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ws := p.waiters[host]
+	for i, w := range ws {
+		if w == ch {
+			p.waiters[host] = append(ws[:i], ws[i+1:]...)
+			return
+		}
+	}
+	// Already notified: pass the token on so it is not lost.
+	p.notifyLocked(host)
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// IdleCount reports idle connections currently pooled for host.
+func (p *Pool) IdleCount(host string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle[host])
+}
+
+// ActiveCount reports total (borrowed + idle) connections for host.
+func (p *Pool) ActiveCount(host string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.active[host]
+}
+
+// CloseIdle closes all idle connections, e.g. after a host is known dead.
+func (p *Pool) CloseIdle(host string) {
+	p.mu.Lock()
+	stack := p.idle[host]
+	delete(p.idle, host)
+	p.active[host] -= len(stack)
+	p.stats.Discards += int64(len(stack))
+	for range stack {
+		p.notifyLocked(host)
+	}
+	p.mu.Unlock()
+	for _, c := range stack {
+		c.netConn.Close()
+	}
+}
+
+// Close shuts the pool down, closing all idle connections. Borrowed
+// connections are closed as they are returned.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	var all []*Conn
+	for host, stack := range p.idle {
+		all = append(all, stack...)
+		p.active[host] -= len(stack)
+	}
+	p.idle = make(map[string][]*Conn)
+	for host, ws := range p.waiters {
+		for _, ch := range ws {
+			close(ch)
+		}
+		delete(p.waiters, host)
+	}
+	p.mu.Unlock()
+	for _, c := range all {
+		c.netConn.Close()
+	}
+}

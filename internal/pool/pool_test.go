@@ -1,0 +1,352 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"godavix/internal/netsim"
+)
+
+func newFabric(t *testing.T) (*netsim.Network, string) {
+	t.Helper()
+	n := netsim.New(netsim.Ideal())
+	addr := "host:80"
+	l, err := n.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			_ = c // server keeps connections open
+		}
+	}()
+	return n, addr
+}
+
+func TestGetDialsThenRecycles(t *testing.T) {
+	n, addr := newFabric(t)
+	p := New(n, Options{})
+	defer p.Close()
+
+	c1, err := p.Get(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Uses() != 1 {
+		t.Fatalf("uses = %d", c1.Uses())
+	}
+	p.Put(c1)
+
+	c2, err := p.Get(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c1 {
+		t.Fatal("expected recycled connection")
+	}
+	if c2.Uses() != 2 {
+		t.Fatalf("uses = %d", c2.Uses())
+	}
+	st := p.Stats()
+	if st.Dials != 1 || st.Reuses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if n.Dials() != 1 {
+		t.Fatalf("network dials = %d", n.Dials())
+	}
+}
+
+func TestDiscardForcesRedial(t *testing.T) {
+	n, addr := newFabric(t)
+	p := New(n, Options{})
+	defer p.Close()
+
+	c1, _ := p.Get(context.Background(), addr)
+	p.Discard(c1)
+	c2, err := p.Get(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == c1 {
+		t.Fatal("discarded connection must not be recycled")
+	}
+	if n.Dials() != 2 {
+		t.Fatalf("network dials = %d", n.Dials())
+	}
+}
+
+func TestMaxPerHostBlocksUntilRelease(t *testing.T) {
+	n, addr := newFabric(t)
+	p := New(n, Options{MaxPerHost: 1})
+	defer p.Close()
+
+	c1, err := p.Get(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan *Conn)
+	go func() {
+		c, err := p.Get(context.Background(), addr)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- c
+	}()
+
+	select {
+	case <-got:
+		t.Fatal("second Get should block at MaxPerHost=1")
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	p.Put(c1)
+	select {
+	case c2 := <-got:
+		if c2 != c1 {
+			t.Fatal("waiter should receive the recycled connection")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter never woke up")
+	}
+}
+
+func TestMaxPerHostContextCancel(t *testing.T) {
+	n, addr := newFabric(t)
+	p := New(n, Options{MaxPerHost: 1})
+	defer p.Close()
+
+	c1, _ := p.Get(context.Background(), addr)
+	defer p.Put(c1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := p.Get(ctx, addr)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIdleTTLExpiry(t *testing.T) {
+	n, addr := newFabric(t)
+	p := New(n, Options{IdleTTL: 10 * time.Millisecond})
+	defer p.Close()
+
+	c1, _ := p.Get(context.Background(), addr)
+	p.Put(c1)
+	time.Sleep(25 * time.Millisecond)
+	c2, err := p.Get(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == c1 {
+		t.Fatal("stale idle connection must not be recycled")
+	}
+	if p.Stats().Discards != 1 {
+		t.Fatalf("discards = %d", p.Stats().Discards)
+	}
+}
+
+func TestMaxUsesRetiresConnection(t *testing.T) {
+	n, addr := newFabric(t)
+	p := New(n, Options{MaxUses: 2})
+	defer p.Close()
+
+	c1, _ := p.Get(context.Background(), addr)
+	p.Put(c1)
+	c2, _ := p.Get(context.Background(), addr)
+	if c2 != c1 {
+		t.Fatal("second use should recycle")
+	}
+	p.Put(c2) // uses == MaxUses: retired
+	c3, _ := p.Get(context.Background(), addr)
+	if c3 == c1 {
+		t.Fatal("connection past MaxUses must be retired")
+	}
+	_ = n
+}
+
+func TestMaxIdleOverflowCloses(t *testing.T) {
+	n, addr := newFabric(t)
+	p := New(n, Options{MaxIdlePerHost: 1})
+	defer p.Close()
+
+	ctx := context.Background()
+	c1, _ := p.Get(ctx, addr)
+	c2, _ := p.Get(ctx, addr)
+	p.Put(c1)
+	p.Put(c2) // overflow: closed
+	if got := p.IdleCount(addr); got != 1 {
+		t.Fatalf("idle = %d, want 1", got)
+	}
+	if p.Stats().Discards != 1 {
+		t.Fatalf("discards = %d", p.Stats().Discards)
+	}
+	_ = n
+}
+
+// TestNeverExceedsMaxPerHost hammers the pool with concurrent borrowers and
+// asserts the per-host cap invariant throughout.
+func TestNeverExceedsMaxPerHost(t *testing.T) {
+	n, addr := newFabric(t)
+	const cap = 4
+	p := New(n, Options{MaxPerHost: cap})
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	inUse, peak := 0, 0
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := p.Get(context.Background(), addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			inUse++
+			if inUse > peak {
+				peak = inUse
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			inUse--
+			mu.Unlock()
+			p.Put(c)
+		}()
+	}
+	wg.Wait()
+	if peak > cap {
+		t.Fatalf("peak concurrent borrowed = %d > cap %d", peak, cap)
+	}
+	if p.ActiveCount(addr) > cap {
+		t.Fatalf("active = %d > cap", p.ActiveCount(addr))
+	}
+}
+
+// TestNoDoubleBorrow: a recycled conn is never handed to two workers at
+// once (DESIGN.md invariant).
+func TestNoDoubleBorrow(t *testing.T) {
+	n, addr := newFabric(t)
+	p := New(n, Options{MaxPerHost: 2})
+	defer p.Close()
+
+	var mu sync.Mutex
+	held := make(map[*Conn]bool)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := p.Get(context.Background(), addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			if held[c] {
+				t.Errorf("connection double-borrowed")
+			}
+			held[c] = true
+			mu.Unlock()
+			time.Sleep(500 * time.Microsecond)
+			mu.Lock()
+			held[c] = false
+			mu.Unlock()
+			p.Put(c)
+		}()
+	}
+	wg.Wait()
+}
+
+func TestGetAfterCloseFails(t *testing.T) {
+	n, addr := newFabric(t)
+	p := New(n, Options{})
+	p.Close()
+	if _, err := p.Get(context.Background(), addr); err != ErrPoolClosed {
+		t.Fatalf("err = %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestCloseIdleKillsPooledConns(t *testing.T) {
+	n, addr := newFabric(t)
+	p := New(n, Options{})
+	defer p.Close()
+
+	c1, _ := p.Get(context.Background(), addr)
+	p.Put(c1)
+	p.CloseIdle(addr)
+	if p.IdleCount(addr) != 0 {
+		t.Fatal("idle connections not closed")
+	}
+	c2, err := p.Get(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == c1 {
+		t.Fatal("closed connection recycled")
+	}
+	_ = n
+}
+
+func TestDialErrorReleasesSlot(t *testing.T) {
+	bad := DialerFunc(func(ctx context.Context, addr string) (net.Conn, error) {
+		return nil, errors.New("boom")
+	})
+	p := New(bad, Options{MaxPerHost: 1})
+	defer p.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := p.Get(context.Background(), "x:1"); err == nil {
+			t.Fatal("expected dial error")
+		}
+	}
+	// Slot must not leak: ActiveCount returns to zero.
+	if p.ActiveCount("x:1") != 0 {
+		t.Fatalf("active = %d after failed dials", p.ActiveCount("x:1"))
+	}
+}
+
+func TestPerHostIsolation(t *testing.T) {
+	n := netsim.New(netsim.Ideal())
+	for _, a := range []string{"a:1", "b:1"} {
+		l, err := n.Listen(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go func(l net.Listener) {
+			for {
+				if _, err := l.Accept(); err != nil {
+					return
+				}
+			}
+		}(l)
+	}
+	p := New(n, Options{})
+	defer p.Close()
+
+	ca, _ := p.Get(context.Background(), "a:1")
+	p.Put(ca)
+	cb, err := p.Get(context.Background(), "b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb == ca {
+		t.Fatal("connection recycled across hosts")
+	}
+	if p.IdleCount("a:1") != 1 || p.IdleCount("b:1") != 0 {
+		t.Fatal("per-host idle accounting wrong")
+	}
+}

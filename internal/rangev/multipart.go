@@ -1,0 +1,84 @@
+package rangev
+
+import (
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"strings"
+)
+
+// Part is one byterange part extracted from a multipart/byteranges body.
+type Part struct {
+	// Off is the starting offset declared by the part's Content-Range.
+	Off int64
+	// Data is the part payload.
+	Data []byte
+	// Total is the resource size declared by Content-Range (-1 if "*").
+	Total int64
+}
+
+// IsMultipartByteranges reports whether the Content-Type announces a
+// multipart/byteranges payload and returns its boundary.
+func IsMultipartByteranges(contentType string) (boundary string, ok bool) {
+	mt, params, err := mime.ParseMediaType(contentType)
+	if err != nil {
+		return "", false
+	}
+	if !strings.EqualFold(mt, "multipart/byteranges") {
+		return "", false
+	}
+	b := params["boundary"]
+	return b, b != ""
+}
+
+// ReadMultipart parses a multipart/byteranges body, returning the parts in
+// stream order. Servers may reorder or coalesce parts relative to the
+// request; callers match parts to frames by offset.
+func ReadMultipart(body io.Reader, boundary string) ([]Part, error) {
+	mr := multipart.NewReader(body, boundary)
+	var parts []Part
+	for {
+		p, err := mr.NextPart()
+		if err == io.EOF {
+			return parts, nil
+		}
+		if err != nil {
+			return parts, fmt.Errorf("rangev: multipart: %w", err)
+		}
+		cr := p.Header.Get("Content-Range")
+		off, length, total, err := ParseContentRange(cr)
+		if err != nil {
+			p.Close()
+			return parts, err
+		}
+		data := make([]byte, length)
+		if _, err := io.ReadFull(p, data); err != nil {
+			p.Close()
+			return parts, fmt.Errorf("rangev: multipart part truncated: %w", err)
+		}
+		p.Close()
+		parts = append(parts, Part{Off: off, Data: data, Total: total})
+	}
+}
+
+// ScatterParts distributes multipart parts into the destination buffers of
+// the original ranges, using the frame membership computed by Coalesce.
+// Each frame must be covered by exactly one part starting at the frame
+// offset (servers echo the requested ranges); parts are matched by offset.
+func ScatterParts(parts []Part, frames []Frame, ranges []Range, dsts [][]byte) error {
+	byOff := make(map[int64]*Part, len(parts))
+	for i := range parts {
+		byOff[parts[i].Off] = &parts[i]
+	}
+	for _, f := range frames {
+		p, ok := byOff[f.Off]
+		if !ok || int64(len(p.Data)) < f.Len {
+			return fmt.Errorf("rangev: no part covers frame [%d,+%d)", f.Off, f.Len)
+		}
+		if err := Scatter(f, p.Off, p.Data, ranges, dsts); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package rootio
+
+import (
+	"testing"
+)
+
+// TestCorruptBasketDetected: bit flips inside a compressed basket must
+// surface as errors, never panics or silent bad data.
+func TestCorruptBasketDetected(t *testing.T) {
+	events := randomEvents(30, 200, 2, 64)
+	img := buildFile(t, []string{"a", "b"}, events, WriterOptions{EventsPerBasket: 50})
+
+	r, err := OpenReader(BytesSource(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the first basket and flip bytes in its middle.
+	b := r.Index().Branches[0].Baskets[0]
+	for i := int64(2); i < b.CompressedSize-2 && i < 32; i++ {
+		img[b.Offset+i] ^= 0xff
+	}
+	r2, err := OpenReader(BytesSource(img))
+	if err != nil {
+		t.Fatal(err) // index and trailer untouched
+	}
+	if _, err := r2.ReadEvent(0, []int{0}); err == nil {
+		t.Fatal("corrupted basket read succeeded")
+	}
+	// Other branches remain readable.
+	if _, err := r2.ReadEvent(0, []int{1}); err != nil {
+		t.Fatalf("clean branch unreadable: %v", err)
+	}
+}
+
+// TestCorruptIndexDetected: damage in the index area must fail OpenReader.
+func TestCorruptIndexDetected(t *testing.T) {
+	events := randomEvents(31, 100, 1, 32)
+	img := buildFile(t, []string{"a"}, events, WriterOptions{EventsPerBasket: 25})
+	// The index sits between the last basket and the trailer. Zero a byte
+	// in the branch-count field (start of index).
+	// Recover index offset from the trailer.
+	idxOff := int64(0)
+	for i := 0; i < 8; i++ {
+		idxOff = idxOff<<8 | int64(img[len(img)-16+i])
+	}
+	img[idxOff] = 0xff
+	img[idxOff+1] = 0xff
+	img[idxOff+2] = 0xff
+	img[idxOff+3] = 0xff
+	if _, err := OpenReader(BytesSource(img)); err == nil {
+		t.Fatal("corrupted index accepted")
+	}
+}
+
+// TestTruncatedFileDetected: cutting the file mid-basket breaks the
+// trailer and must be rejected at open.
+func TestTruncatedFileDetected(t *testing.T) {
+	events := randomEvents(32, 100, 1, 32)
+	img := buildFile(t, []string{"a"}, events, WriterOptions{})
+	if _, err := OpenReader(BytesSource(img[:len(img)/2])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+// TestBasketSizeMismatchDetected: an index lying about the uncompressed
+// size must error at decode.
+func TestBasketSizeMismatchDetected(t *testing.T) {
+	events := randomEvents(33, 100, 1, 32)
+	img := buildFile(t, []string{"a"}, events, WriterOptions{EventsPerBasket: 50})
+	r, err := OpenReader(BytesSource(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the in-memory index: double the uncompressed size.
+	r.Index().Branches[0].Baskets[0].UncompressedSize *= 2
+	if _, err := r.ReadEvent(0, []int{0}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}

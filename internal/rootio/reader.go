@@ -1,0 +1,246 @@
+package rootio
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"godavix/internal/rangev"
+)
+
+// Source is the storage access abstraction the Reader pulls bytes through.
+// The function-field design keeps rootio decoupled from the transports:
+// davix Files, xrootd Files (via adapters) and plain byte slices all fit.
+type Source struct {
+	// Size is the total file size in bytes.
+	Size int64
+
+	// ReadVec fetches the given ranges into dsts (dsts[i] sized to
+	// ranges[i].Len). Required.
+	ReadVec func(ranges []rangev.Range, dsts [][]byte) error
+
+	// ReadVecAsync, when non-nil, starts the fetch and returns a channel
+	// yielding the single completion error. TreeCache uses it to overlap
+	// the next window's network fetch with the current window's
+	// processing (the sliding-window advantage of §3).
+	ReadVecAsync func(ranges []rangev.Range, dsts [][]byte) <-chan error
+}
+
+// BytesSource adapts an in-memory file image to a Source.
+func BytesSource(data []byte) Source {
+	return Source{
+		Size: int64(len(data)),
+		ReadVec: func(ranges []rangev.Range, dsts [][]byte) error {
+			for i, r := range ranges {
+				if r.Off < 0 || r.End() > int64(len(data)) {
+					return fmt.Errorf("rootio: range [%d,+%d) out of bounds", r.Off, r.Len)
+				}
+				copy(dsts[i][:r.Len], data[r.Off:r.End()])
+			}
+			return nil
+		},
+	}
+}
+
+// Reader reads events from an RNT file through a Source.
+type Reader struct {
+	src Source
+	idx *Index
+
+	mu    sync.Mutex
+	cache map[basketKey][][]byte // decoded basket -> per-event payloads
+}
+
+type basketKey struct {
+	branch, basket int
+}
+
+// OpenReader validates the header/trailer and loads the index
+// (two vectored reads in total).
+func OpenReader(src Source) (*Reader, error) {
+	if src.Size < headerLen+trailerLen {
+		return nil, ErrBadMagic
+	}
+	head := make([]byte, headerLen)
+	tail := make([]byte, trailerLen)
+	err := src.ReadVec(
+		[]rangev.Range{{Off: 0, Len: headerLen}, {Off: src.Size - trailerLen, Len: trailerLen}},
+		[][]byte{head, tail},
+	)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(head[0:4], magicHead) || !bytes.Equal(tail[12:16], magicTail) {
+		return nil, ErrBadMagic
+	}
+	idxOff := int64(binary.BigEndian.Uint64(tail[0:8]))
+	idxLen := int64(binary.BigEndian.Uint32(tail[8:12]))
+	if idxOff < headerLen || idxOff+idxLen+trailerLen > src.Size {
+		return nil, ErrCorrupt
+	}
+	idxRaw := make([]byte, idxLen)
+	if err := src.ReadVec([]rangev.Range{{Off: idxOff, Len: idxLen}}, [][]byte{idxRaw}); err != nil {
+		return nil, err
+	}
+	idx, err := decodeIndex(idxRaw)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{src: src, idx: idx, cache: make(map[basketKey][][]byte)}, nil
+}
+
+// Events returns the total number of events.
+func (r *Reader) Events() uint64 { return r.idx.Events }
+
+// Branches returns the branch names in declaration order.
+func (r *Reader) Branches() []string {
+	names := make([]string, len(r.idx.Branches))
+	for i, b := range r.idx.Branches {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// BranchIndexOf returns the position of the named branch, or -1.
+func (r *Reader) BranchIndexOf(name string) int {
+	for i, b := range r.idx.Branches {
+		if b.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Index exposes the table of contents (read-only by convention).
+func (r *Reader) Index() *Index { return r.idx }
+
+// basketFor locates the basket of branch bi containing event ev.
+func (r *Reader) basketFor(bi int, ev uint64) (int, error) {
+	baskets := r.idx.Branches[bi].Baskets
+	lo, hi := 0, len(baskets)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		b := baskets[mid]
+		switch {
+		case ev < b.FirstEvent:
+			hi = mid - 1
+		case ev >= b.FirstEvent+uint64(b.NumEvents):
+			lo = mid + 1
+		default:
+			return mid, nil
+		}
+	}
+	return 0, fmt.Errorf("rootio: event %d not covered by branch %q", ev, r.idx.Branches[bi].Name)
+}
+
+// loadBaskets fetches and decodes the given baskets in one vectored read.
+// Keys already cached are skipped.
+func (r *Reader) loadBaskets(keys []basketKey) error {
+	r.mu.Lock()
+	var need []basketKey
+	for _, k := range keys {
+		if _, ok := r.cache[k]; !ok {
+			need = append(need, k)
+		}
+	}
+	r.mu.Unlock()
+	if len(need) == 0 {
+		return nil
+	}
+
+	ranges := make([]rangev.Range, len(need))
+	dsts := make([][]byte, len(need))
+	for i, k := range need {
+		b := r.idx.Branches[k.branch].Baskets[k.basket]
+		ranges[i] = rangev.Range{Off: b.Offset, Len: b.CompressedSize}
+		dsts[i] = make([]byte, b.CompressedSize)
+	}
+	if err := r.src.ReadVec(ranges, dsts); err != nil {
+		return err
+	}
+	return r.decodeInto(need, dsts)
+}
+
+// decodeInto decompresses fetched basket blobs into the cache.
+func (r *Reader) decodeInto(keys []basketKey, blobs [][]byte) error {
+	for i, k := range keys {
+		b := r.idx.Branches[k.branch].Baskets[k.basket]
+		events, err := inflateBasket(blobs[i], b.UncompressedSize)
+		if err != nil {
+			return err
+		}
+		if uint32(len(events)) != b.NumEvents {
+			return ErrCorrupt
+		}
+		r.mu.Lock()
+		r.cache[k] = events
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+func inflateBasket(blob []byte, usize int64) ([][]byte, error) {
+	zr, err := zlib.NewReader(bytes.NewReader(blob))
+	if err != nil {
+		return nil, fmt.Errorf("rootio: basket inflate: %w", err)
+	}
+	raw := make([]byte, usize)
+	if _, err := io.ReadFull(zr, raw); err != nil {
+		return nil, fmt.Errorf("rootio: basket inflate: %w", err)
+	}
+	zr.Close()
+	return decodeBasket(raw)
+}
+
+// ReadEvent returns the payloads of event ev for the selected branch
+// positions (nil selects every branch). Baskets are fetched on demand —
+// without a TreeCache every cold basket costs one network round trip,
+// which is precisely the naive pattern of Figure 3's left side.
+func (r *Reader) ReadEvent(ev uint64, branches []int) ([][]byte, error) {
+	if ev >= r.idx.Events {
+		return nil, fmt.Errorf("rootio: event %d out of range (%d events)", ev, r.idx.Events)
+	}
+	if branches == nil {
+		branches = make([]int, len(r.idx.Branches))
+		for i := range branches {
+			branches[i] = i
+		}
+	}
+	keys := make([]basketKey, len(branches))
+	for i, bi := range branches {
+		bk, err := r.basketFor(bi, ev)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = basketKey{branch: bi, basket: bk}
+	}
+	if err := r.loadBaskets(keys); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(branches))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, k := range keys {
+		b := r.idx.Branches[k.branch].Baskets[k.basket]
+		out[i] = r.cache[k][ev-b.FirstEvent]
+	}
+	return out, nil
+}
+
+// DropCache clears decoded baskets (used between benchmark iterations and
+// by the TreeCache's window eviction).
+func (r *Reader) DropCache() {
+	r.mu.Lock()
+	r.cache = make(map[basketKey][][]byte)
+	r.mu.Unlock()
+}
+
+// cachedBaskets reports how many decoded baskets are resident.
+func (r *Reader) cachedBaskets() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cache)
+}

@@ -1,0 +1,125 @@
+package rootio
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TrainingCache reproduces the ROOT TTreeCache learning phase: for the
+// first trainEvents events, per-branch reads are served on demand while
+// the cache records which branches the analysis actually touches. After
+// training it switches to a TreeCache restricted to the observed branch
+// set, so the vectored fills transfer only the columns the analysis needs
+// — typically a small fraction of the file.
+//
+// A branch first touched after training triggers a transparent retrain
+// (the new branch joins the set and the windowed cache is rebuilt), so
+// correctness never depends on the training window being representative.
+type TrainingCache struct {
+	reader      *Reader
+	window      uint64
+	trainEvents uint64
+
+	used    map[int]bool
+	trained bool
+	tc      *TreeCache
+
+	retrains int
+}
+
+// NewTrainingCache creates a TrainingCache over r. trainEvents bounds the
+// learning phase (0 selects 100, ROOT's entry-range default spirit);
+// windowEvents is the post-training TreeCache window.
+func NewTrainingCache(r *Reader, trainEvents, windowEvents uint64) *TrainingCache {
+	if trainEvents == 0 {
+		trainEvents = 100
+	}
+	return &TrainingCache{
+		reader:      r,
+		window:      windowEvents,
+		trainEvents: trainEvents,
+		used:        make(map[int]bool),
+	}
+}
+
+// UsedBranches returns the branch positions learned so far, sorted.
+func (t *TrainingCache) UsedBranches() []int {
+	out := make([]int, 0, len(t.used))
+	for bi := range t.used {
+		out = append(out, bi)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Trained reports whether the learning phase has finished.
+func (t *TrainingCache) Trained() bool { return t.trained }
+
+// Retrains counts how many times a post-training branch miss forced a
+// cache rebuild.
+func (t *TrainingCache) Retrains() int { return t.retrains }
+
+// Branch returns branch bi of event ev. During training it reads on
+// demand and records usage; afterwards it serves from the windowed
+// vectored cache.
+func (t *TrainingCache) Branch(ev uint64, bi int) ([]byte, error) {
+	if bi < 0 || bi >= len(t.reader.idx.Branches) {
+		return nil, fmt.Errorf("rootio: branch %d out of range", bi)
+	}
+	if !t.trained {
+		t.used[bi] = true
+		if ev+1 >= t.trainEvents {
+			t.finishTraining()
+		}
+		vals, err := t.reader.ReadEvent(ev, []int{bi})
+		if err != nil {
+			return nil, err
+		}
+		return vals[0], nil
+	}
+	if !t.used[bi] {
+		// Late branch discovery: widen the set and rebuild.
+		t.used[bi] = true
+		t.retrains++
+		t.rebuild()
+	}
+	vals, err := t.tc.Event(ev)
+	if err != nil {
+		return nil, err
+	}
+	// tc serves branches in UsedBranches() order; locate bi.
+	for i, ubi := range t.tc.branches {
+		if ubi == bi {
+			return vals[i], nil
+		}
+	}
+	return nil, fmt.Errorf("rootio: branch %d missing from trained set", bi)
+}
+
+func (t *TrainingCache) finishTraining() {
+	t.trained = true
+	t.rebuild()
+}
+
+func (t *TrainingCache) rebuild() {
+	if t.tc != nil {
+		t.tc.Close()
+	}
+	t.reader.DropCache()
+	t.tc = NewTreeCache(t.reader, t.window, t.UsedBranches())
+}
+
+// Fills reports the vectored fill count of the post-training cache.
+func (t *TrainingCache) Fills() int64 {
+	if t.tc == nil {
+		return 0
+	}
+	return t.tc.Fills()
+}
+
+// Close releases the underlying TreeCache.
+func (t *TrainingCache) Close() {
+	if t.tc != nil {
+		t.tc.Close()
+	}
+}

@@ -1,0 +1,126 @@
+package rootio
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+
+	"godavix/internal/rangev"
+)
+
+func TestTrainingCacheLearnsBranchSet(t *testing.T) {
+	events := randomEvents(20, 1000, 6, 32)
+	branches := []string{"px", "py", "pz", "E", "jets", "met"}
+	img := buildFile(t, branches, events, WriterOptions{EventsPerBasket: 100})
+
+	var bytesRead atomic.Int64
+	src := BytesSource(img)
+	inner := src.ReadVec
+	src.ReadVec = func(ranges []rangev.Range, dsts [][]byte) error {
+		for _, r := range ranges {
+			bytesRead.Add(r.Len)
+		}
+		return inner(ranges, dsts)
+	}
+	r, err := OpenReader(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tc := NewTrainingCache(r, 50, 250)
+	defer tc.Close()
+
+	// The analysis touches only branches 1 and 4.
+	for ev := uint64(0); ev < 1000; ev++ {
+		for _, bi := range []int{1, 4} {
+			got, err := tc.Branch(ev, bi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, events[ev][bi]) {
+				t.Fatalf("event %d branch %d mismatch", ev, bi)
+			}
+		}
+	}
+	if !tc.Trained() {
+		t.Fatal("never finished training")
+	}
+	used := tc.UsedBranches()
+	if len(used) != 2 || used[0] != 1 || used[1] != 4 {
+		t.Fatalf("used = %v", used)
+	}
+	if tc.Retrains() != 0 {
+		t.Fatalf("retrains = %d", tc.Retrains())
+	}
+	// Only ~2/6 of the file should have crossed the source (plus training
+	// and index overhead).
+	if got := bytesRead.Load(); got*2 > int64(len(img)) {
+		t.Fatalf("trained scan read %d of %d bytes", got, len(img))
+	}
+}
+
+func TestTrainingCacheLateBranchRetrains(t *testing.T) {
+	events := randomEvents(21, 600, 4, 24)
+	img := buildFile(t, []string{"a", "b", "c", "d"}, events, WriterOptions{EventsPerBasket: 64})
+	r, _ := OpenReader(BytesSource(img))
+	tc := NewTrainingCache(r, 20, 200)
+	defer tc.Close()
+
+	for ev := uint64(0); ev < 600; ev++ {
+		if _, err := tc.Branch(ev, 0); err != nil {
+			t.Fatal(err)
+		}
+		// Branch 3 only appears after training ended.
+		if ev == 400 {
+			got, err := tc.Branch(ev, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, events[ev][3]) {
+				t.Fatal("late branch content mismatch")
+			}
+		}
+	}
+	if tc.Retrains() != 1 {
+		t.Fatalf("retrains = %d, want 1", tc.Retrains())
+	}
+	used := tc.UsedBranches()
+	if len(used) != 2 || used[0] != 0 || used[1] != 3 {
+		t.Fatalf("used = %v", used)
+	}
+}
+
+func TestTrainingCacheMatchesNaive(t *testing.T) {
+	events := randomEvents(22, 500, 3, 32)
+	img := buildFile(t, []string{"a", "b", "c"}, events, WriterOptions{EventsPerBasket: 50})
+	r1, _ := OpenReader(BytesSource(img))
+	r2, _ := OpenReader(BytesSource(img))
+	tc := NewTrainingCache(r2, 30, 100)
+	defer tc.Close()
+
+	for ev := uint64(0); ev < 500; ev++ {
+		for bi := 0; bi < 3; bi++ {
+			naive, err := r1.ReadEvent(ev, []int{bi})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tc.Branch(ev, bi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, naive[0]) {
+				t.Fatalf("event %d branch %d mismatch", ev, bi)
+			}
+		}
+	}
+}
+
+func TestTrainingCacheBranchOutOfRange(t *testing.T) {
+	img := buildFile(t, []string{"a"}, randomEvents(23, 10, 1, 8), WriterOptions{})
+	r, _ := OpenReader(BytesSource(img))
+	tc := NewTrainingCache(r, 5, 5)
+	defer tc.Close()
+	if _, err := tc.Branch(0, 7); err == nil {
+		t.Fatal("out-of-range branch accepted")
+	}
+}

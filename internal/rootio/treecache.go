@@ -1,0 +1,184 @@
+package rootio
+
+import (
+	"fmt"
+
+	"godavix/internal/rangev"
+)
+
+// TreeCache gathers the baskets needed by the next window of events into a
+// single vectored read — the TTreeCache role in the paper's Figure 3. The
+// davix path turns the gathered request into one HTTP multi-range query;
+// the xrootd path into one readv. When the Source supports asynchronous
+// vectored reads, the next window is prefetched while the current one is
+// being processed (double buffering), which hides the round-trip latency
+// on high-RTT links.
+type TreeCache struct {
+	reader   *Reader
+	branches []int
+	window   uint64 // events per fill
+	prefetch bool
+
+	curStart uint64 // first event of the filled window; curStart==^0 when none
+	fills    int64
+
+	next *pendingFill
+}
+
+// pendingFill is an in-flight asynchronous window fetch.
+type pendingFill struct {
+	start uint64
+	keys  []basketKey
+	dsts  [][]byte
+	done  <-chan error
+}
+
+// NewTreeCache creates a TreeCache over r reading the given branch
+// positions (nil = all branches) with the given window size in events
+// (0 selects 1000). Prefetching activates automatically when the Source
+// provides ReadVecAsync.
+func NewTreeCache(r *Reader, windowEvents uint64, branches []int) *TreeCache {
+	if windowEvents == 0 {
+		windowEvents = 1000
+	}
+	if branches == nil {
+		branches = make([]int, len(r.idx.Branches))
+		for i := range branches {
+			branches[i] = i
+		}
+	}
+	return &TreeCache{
+		reader:   r,
+		branches: branches,
+		window:   windowEvents,
+		prefetch: r.src.ReadVecAsync != nil,
+		curStart: ^uint64(0),
+	}
+}
+
+// Fills reports how many window fetches have been issued (each is one
+// network round trip on the davix path).
+func (tc *TreeCache) Fills() int64 { return tc.fills }
+
+// windowKeys computes the basket set covering events [start, start+window).
+func (tc *TreeCache) windowKeys(start uint64) ([]basketKey, error) {
+	end := start + tc.window
+	if end > tc.reader.idx.Events {
+		end = tc.reader.idx.Events
+	}
+	var keys []basketKey
+	for _, bi := range tc.branches {
+		first, err := tc.reader.basketFor(bi, start)
+		if err != nil {
+			return nil, err
+		}
+		last, err := tc.reader.basketFor(bi, end-1)
+		if err != nil {
+			return nil, err
+		}
+		for bk := first; bk <= last; bk++ {
+			keys = append(keys, basketKey{branch: bi, basket: bk})
+		}
+	}
+	return keys, nil
+}
+
+// startFill begins fetching the window at start, asynchronously when the
+// source allows it.
+func (tc *TreeCache) startFill(start uint64) (*pendingFill, error) {
+	keys, err := tc.windowKeys(start)
+	if err != nil {
+		return nil, err
+	}
+	ranges := make([]rangev.Range, len(keys))
+	dsts := make([][]byte, len(keys))
+	for i, k := range keys {
+		b := tc.reader.idx.Branches[k.branch].Baskets[k.basket]
+		ranges[i] = rangev.Range{Off: b.Offset, Len: b.CompressedSize}
+		dsts[i] = make([]byte, b.CompressedSize)
+	}
+	tc.fills++
+	pf := &pendingFill{start: start, keys: keys, dsts: dsts}
+	if tc.prefetch {
+		pf.done = tc.reader.src.ReadVecAsync(ranges, dsts)
+		return pf, nil
+	}
+	ch := make(chan error, 1)
+	ch <- tc.reader.src.ReadVec(ranges, dsts)
+	pf.done = ch
+	return pf, nil
+}
+
+// finishFill waits for pf and decodes its baskets into the reader cache.
+func (tc *TreeCache) finishFill(pf *pendingFill) error {
+	if err := <-pf.done; err != nil {
+		return err
+	}
+	return tc.reader.decodeInto(pf.keys, pf.dsts)
+}
+
+// Event returns the selected branches' payloads for event ev. Sequential
+// iteration is the optimized path: entering a new window triggers one
+// vectored fill and (with prefetch) the asynchronous fill of the window
+// after it.
+func (tc *TreeCache) Event(ev uint64) ([][]byte, error) {
+	if ev >= tc.reader.idx.Events {
+		return nil, fmt.Errorf("rootio: event %d out of range", ev)
+	}
+	ws := ev - ev%tc.window
+	if tc.curStart != ws {
+		if err := tc.enterWindow(ws); err != nil {
+			return nil, err
+		}
+	}
+	return tc.reader.ReadEvent(ev, tc.branches)
+}
+
+// enterWindow makes ws the current window: uses the prefetched fill when it
+// matches, otherwise fetches synchronously; then kicks off the next
+// window's prefetch.
+func (tc *TreeCache) enterWindow(ws uint64) error {
+	// Evict the previous window's decoded baskets to bound memory.
+	tc.reader.DropCache()
+
+	var cur *pendingFill
+	if tc.next != nil && tc.next.start == ws {
+		cur = tc.next
+		tc.next = nil
+	} else {
+		// Discard a mismatched prefetch (random access pattern).
+		if tc.next != nil {
+			<-tc.next.done
+			tc.next = nil
+		}
+		pf, err := tc.startFill(ws)
+		if err != nil {
+			return err
+		}
+		cur = pf
+	}
+
+	// Overlap: start fetching the next window before decoding this one.
+	if tc.prefetch {
+		if nxt := ws + tc.window; nxt < tc.reader.idx.Events {
+			pf, err := tc.startFill(nxt)
+			if err == nil {
+				tc.next = pf
+			}
+		}
+	}
+
+	if err := tc.finishFill(cur); err != nil {
+		return err
+	}
+	tc.curStart = ws
+	return nil
+}
+
+// Close abandons any in-flight prefetch.
+func (tc *TreeCache) Close() {
+	if tc.next != nil {
+		<-tc.next.done
+		tc.next = nil
+	}
+}

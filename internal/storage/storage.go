@@ -1,0 +1,388 @@
+// Package storage provides the object-store backend shared by the HTTP
+// (DPM-like) and XRootD-like servers: a hierarchical namespace of immutable
+// byte blobs with stat metadata and checksums. Two implementations are
+// provided: an in-memory store for simulations and tests, and a disk store
+// for the standalone server binaries.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"hash/adler32"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Common errors, comparable with errors.Is.
+var (
+	ErrNotFound = errors.New("storage: not found")
+	ErrIsDir    = errors.New("storage: is a directory")
+	ErrNotDir   = errors.New("storage: not a directory")
+	ErrExists   = errors.New("storage: already exists")
+)
+
+// Info describes a namespace entry.
+type Info struct {
+	// Name is the base name of the entry.
+	Name string
+	// Path is the full cleaned path ("/store/f.rnt").
+	Path string
+	// Size is the object size in bytes (0 for directories).
+	Size int64
+	// ModTime is the last modification time.
+	ModTime time.Time
+	// Dir reports whether the entry is a directory.
+	Dir bool
+	// Checksum is the Adler-32 checksum of the content, rendered as
+	// "adler32:%08x" (the WLCG convention); empty for directories.
+	Checksum string
+}
+
+// Store is the namespace interface served over HTTP and xrootd.
+type Store interface {
+	// Get returns the full content of the object at p.
+	Get(p string) ([]byte, Info, error)
+	// Put creates or replaces the object at p, creating parents.
+	Put(p string, data []byte) error
+	// Delete removes the object or empty directory at p.
+	Delete(p string) error
+	// Stat describes the entry at p.
+	Stat(p string) (Info, error)
+	// List returns the direct children of the directory at p, sorted by name.
+	List(p string) ([]Info, error)
+	// Mkdir creates a directory at p (parents required to exist).
+	Mkdir(p string) error
+}
+
+// Checksum renders the WLCG-style Adler-32 checksum of data.
+func Checksum(data []byte) string {
+	return fmt.Sprintf("adler32:%08x", adler32.Checksum(data))
+}
+
+// Clean canonicalizes an object path to a rooted, slash-separated form.
+func Clean(p string) string {
+	p = path.Clean("/" + strings.TrimSpace(p))
+	return p
+}
+
+// memEntry is a node in the in-memory namespace tree.
+type memEntry struct {
+	data     []byte
+	checksum string // computed once at Put
+	modTime  time.Time
+	dir      bool
+	children map[string]*memEntry
+}
+
+// MemStore is an in-memory Store, safe for concurrent use.
+type MemStore struct {
+	mu   sync.RWMutex
+	root *memEntry
+	now  func() time.Time
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{
+		root: &memEntry{dir: true, children: map[string]*memEntry{}},
+		now:  time.Now,
+	}
+}
+
+// lookup walks to the entry at p. Caller holds at least a read lock.
+func (s *MemStore) lookup(p string) (*memEntry, error) {
+	cur := s.root
+	for _, part := range splitPath(p) {
+		if !cur.dir {
+			return nil, ErrNotDir
+		}
+		next, ok := cur.children[part]
+		if !ok {
+			return nil, ErrNotFound
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func splitPath(p string) []string {
+	p = strings.Trim(Clean(p), "/")
+	if p == "" {
+		return nil
+	}
+	return strings.Split(p, "/")
+}
+
+func (s *MemStore) infoFor(p string, e *memEntry) Info {
+	p = Clean(p)
+	inf := Info{
+		Name:    path.Base(p),
+		Path:    p,
+		ModTime: e.modTime,
+		Dir:     e.dir,
+	}
+	if !e.dir {
+		inf.Size = int64(len(e.data))
+		inf.Checksum = e.checksum
+	}
+	return inf
+}
+
+// Get implements Store.
+func (s *MemStore) Get(p string) ([]byte, Info, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, err := s.lookup(p)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	if e.dir {
+		return nil, Info{}, ErrIsDir
+	}
+	// Callers must not mutate the returned slice; the HTTP and xrootd
+	// servers only read it.
+	return e.data, s.infoFor(p, e), nil
+}
+
+// Put implements Store, creating parent directories as needed.
+func (s *MemStore) Put(p string, data []byte) error {
+	parts := splitPath(p)
+	if len(parts) == 0 {
+		return ErrIsDir
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.root
+	for _, part := range parts[:len(parts)-1] {
+		next, ok := cur.children[part]
+		if !ok {
+			next = &memEntry{dir: true, children: map[string]*memEntry{}, modTime: s.now()}
+			cur.children[part] = next
+		}
+		if !next.dir {
+			return ErrNotDir
+		}
+		cur = next
+	}
+	name := parts[len(parts)-1]
+	if e, ok := cur.children[name]; ok && e.dir {
+		return ErrIsDir
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	cur.children[name] = &memEntry{data: buf, checksum: Checksum(buf), modTime: s.now()}
+	return nil
+}
+
+// Delete implements Store. Directories must be empty.
+func (s *MemStore) Delete(p string) error {
+	parts := splitPath(p)
+	if len(parts) == 0 {
+		return ErrIsDir
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parent := s.root
+	for _, part := range parts[:len(parts)-1] {
+		next, ok := parent.children[part]
+		if !ok || !next.dir {
+			return ErrNotFound
+		}
+		parent = next
+	}
+	name := parts[len(parts)-1]
+	e, ok := parent.children[name]
+	if !ok {
+		return ErrNotFound
+	}
+	if e.dir && len(e.children) > 0 {
+		return fmt.Errorf("storage: directory not empty: %s", Clean(p))
+	}
+	delete(parent.children, name)
+	return nil
+}
+
+// Stat implements Store.
+func (s *MemStore) Stat(p string) (Info, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, err := s.lookup(p)
+	if err != nil {
+		return Info{}, err
+	}
+	return s.infoFor(p, e), nil
+}
+
+// List implements Store.
+func (s *MemStore) List(p string) ([]Info, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, err := s.lookup(p)
+	if err != nil {
+		return nil, err
+	}
+	if !e.dir {
+		return nil, ErrNotDir
+	}
+	out := make([]Info, 0, len(e.children))
+	base := Clean(p)
+	for name, child := range e.children {
+		out = append(out, s.infoFor(path.Join(base, name), child))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Mkdir implements Store.
+func (s *MemStore) Mkdir(p string) error {
+	parts := splitPath(p)
+	if len(parts) == 0 {
+		return ErrExists
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parent := s.root
+	for _, part := range parts[:len(parts)-1] {
+		next, ok := parent.children[part]
+		if !ok || !next.dir {
+			return ErrNotFound
+		}
+		parent = next
+	}
+	name := parts[len(parts)-1]
+	if _, ok := parent.children[name]; ok {
+		return ErrExists
+	}
+	parent.children[name] = &memEntry{dir: true, children: map[string]*memEntry{}, modTime: s.now()}
+	return nil
+}
+
+// DiskStore is a Store rooted at a filesystem directory.
+type DiskStore struct {
+	root string
+}
+
+// NewDiskStore creates (if needed) and wraps root as a Store.
+func NewDiskStore(root string) (*DiskStore, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	return &DiskStore{root: abs}, nil
+}
+
+func (s *DiskStore) fsPath(p string) string {
+	return filepath.Join(s.root, filepath.FromSlash(strings.TrimPrefix(Clean(p), "/")))
+}
+
+func mapFSErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, fs.ErrNotExist):
+		return ErrNotFound
+	case errors.Is(err, fs.ErrExist):
+		return ErrExists
+	default:
+		return err
+	}
+}
+
+// Get implements Store.
+func (s *DiskStore) Get(p string) ([]byte, Info, error) {
+	fp := s.fsPath(p)
+	st, err := os.Stat(fp)
+	if err != nil {
+		return nil, Info{}, mapFSErr(err)
+	}
+	if st.IsDir() {
+		return nil, Info{}, ErrIsDir
+	}
+	data, err := os.ReadFile(fp)
+	if err != nil {
+		return nil, Info{}, mapFSErr(err)
+	}
+	return data, s.infoFromFS(p, st, data), nil
+}
+
+func (s *DiskStore) infoFromFS(p string, st fs.FileInfo, data []byte) Info {
+	inf := Info{
+		Name:    path.Base(Clean(p)),
+		Path:    Clean(p),
+		ModTime: st.ModTime(),
+		Dir:     st.IsDir(),
+	}
+	if !st.IsDir() {
+		inf.Size = st.Size()
+		if data != nil {
+			inf.Checksum = Checksum(data)
+		}
+	}
+	return inf
+}
+
+// Put implements Store.
+func (s *DiskStore) Put(p string, data []byte) error {
+	fp := s.fsPath(p)
+	if err := os.MkdirAll(filepath.Dir(fp), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(fp, data, 0o644)
+}
+
+// Delete implements Store.
+func (s *DiskStore) Delete(p string) error {
+	fp := s.fsPath(p)
+	if _, err := os.Stat(fp); err != nil {
+		return mapFSErr(err)
+	}
+	return mapFSErr(os.Remove(fp))
+}
+
+// Stat implements Store.
+func (s *DiskStore) Stat(p string) (Info, error) {
+	st, err := os.Stat(s.fsPath(p))
+	if err != nil {
+		return Info{}, mapFSErr(err)
+	}
+	return s.infoFromFS(p, st, nil), nil
+}
+
+// List implements Store.
+func (s *DiskStore) List(p string) ([]Info, error) {
+	entries, err := os.ReadDir(s.fsPath(p))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		return nil, err
+	}
+	out := make([]Info, 0, len(entries))
+	for _, e := range entries {
+		st, err := e.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, s.infoFromFS(path.Join(Clean(p), e.Name()), st, nil))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Mkdir implements Store.
+func (s *DiskStore) Mkdir(p string) error {
+	fp := s.fsPath(p)
+	if _, err := os.Stat(fp); err == nil {
+		return ErrExists
+	}
+	return mapFSErr(os.Mkdir(fp, 0o755))
+}

@@ -1,0 +1,55 @@
+package webdav
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMultistatusRoundTrip(t *testing.T) {
+	now := time.Now().UTC().Truncate(time.Second)
+	in := []Entry{
+		{Href: "/store", Dir: true, ModTime: now},
+		{Href: "/store/f.rnt", Size: 700 << 20, ModTime: now},
+		{Href: "/store/empty", Size: 0},
+	}
+	body, err := EncodeMultistatus(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMultistatus(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("entries = %d", len(got))
+	}
+	if !got[0].Dir || got[0].Href != "/store" {
+		t.Fatalf("dir entry = %+v", got[0])
+	}
+	if got[1].Dir || got[1].Size != 700<<20 {
+		t.Fatalf("file entry = %+v", got[1])
+	}
+	if !got[0].ModTime.Equal(now) {
+		t.Fatalf("modtime = %v, want %v", got[0].ModTime, now)
+	}
+	if got[2].Size != 0 || got[2].Dir {
+		t.Fatalf("empty entry = %+v", got[2])
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := DecodeMultistatus([]byte("<<<<")); err == nil {
+		t.Fatal("expected xml error")
+	}
+}
+
+func TestDecodeEmptyDoc(t *testing.T) {
+	body, err := EncodeMultistatus(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMultistatus(body)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+}

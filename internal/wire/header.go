@@ -1,0 +1,87 @@
+// Package wire implements the HTTP/1.1 client wire protocol used by the
+// davix engine: request serialization, response parsing (content-length,
+// chunked and close-delimited bodies), and keep-alive accounting.
+//
+// davix deliberately speaks plain standards-compliant HTTP/1.1 — the paper's
+// compatibility requirement rules out SPDY/SCTP/MUX — so this package is a
+// from-scratch, minimal, allocation-conscious HTTP implementation on top of
+// any net.Conn (real TCP or netsim).
+package wire
+
+import (
+	"fmt"
+	"io"
+	"net/textproto"
+	"sort"
+	"strings"
+)
+
+// Header is a case-insensitive (canonicalized) HTTP header map.
+type Header map[string][]string
+
+// canonical returns the canonical form of a header key ("content-type" →
+// "Content-Type").
+func canonical(key string) string { return textproto.CanonicalMIMEHeaderKey(key) }
+
+// Set replaces the value of key.
+func (h Header) Set(key, value string) { h[canonical(key)] = []string{value} }
+
+// Add appends value to key.
+func (h Header) Add(key, value string) {
+	ck := canonical(key)
+	h[ck] = append(h[ck], value)
+}
+
+// Get returns the first value of key, or "".
+func (h Header) Get(key string) string {
+	v := h[canonical(key)]
+	if len(v) == 0 {
+		return ""
+	}
+	return v[0]
+}
+
+// Values returns all values of key.
+func (h Header) Values(key string) []string { return h[canonical(key)] }
+
+// Del removes key.
+func (h Header) Del(key string) { delete(h, canonical(key)) }
+
+// Clone returns a deep copy of h.
+func (h Header) Clone() Header {
+	c := make(Header, len(h))
+	for k, vs := range h {
+		c[k] = append([]string(nil), vs...)
+	}
+	return c
+}
+
+// Write serializes the header block in sorted key order (deterministic
+// output simplifies testing) followed by the terminating CRLF.
+func (h Header) Write(w io.Writer) error {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, v := range h[k] {
+			if _, err := fmt.Fprintf(w, "%s: %s\r\n", k, v); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\r\n")
+	return err
+}
+
+// hasToken reports whether the comma-separated header value contains token
+// (case-insensitive). Used for Connection and Transfer-Encoding checks.
+func hasToken(value, token string) bool {
+	for _, part := range strings.Split(value, ",") {
+		if strings.EqualFold(strings.TrimSpace(part), token) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Request is an outbound HTTP/1.1 request.
+type Request struct {
+	// Method is the HTTP method ("GET", "PUT", "PROPFIND", ...).
+	Method string
+
+	// Host is the authority for the Host header and connection routing
+	// ("dpm1:80").
+	Host string
+
+	// Path is the origin-form request target ("/store/file.rnt"); an empty
+	// Path is sent as "/". A query string may be included.
+	Path string
+
+	// Header holds additional request headers. Host, Content-Length and
+	// Transfer-Encoding are managed by Write.
+	Header Header
+
+	// Body is the request payload. If ContentLength is negative and Body is
+	// non-nil the body is sent chunked.
+	Body io.Reader
+
+	// ContentLength is the body size; -1 with a non-nil Body selects
+	// chunked transfer encoding, 0 with nil Body means no body.
+	ContentLength int64
+
+	// Close requests that the server close the connection after responding
+	// (sends "Connection: close").
+	Close bool
+}
+
+// NewRequest returns a bodyless request with an initialized header map.
+func NewRequest(method, host, path string) *Request {
+	return &Request{Method: method, Host: host, Path: path, Header: Header{}}
+}
+
+// SetBodyBytes attaches b as the request body with a known length.
+func (r *Request) SetBodyBytes(b []byte) {
+	r.Body = bytes.NewReader(b)
+	r.ContentLength = int64(len(b))
+}
+
+// Write serializes the request to w in HTTP/1.1 wire format.
+func (r *Request) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 4096)
+	path := r.Path
+	if path == "" {
+		path = "/"
+	}
+	if _, err := fmt.Fprintf(bw, "%s %s HTTP/1.1\r\n", r.Method, path); err != nil {
+		return err
+	}
+
+	h := Header{}
+	for k, vs := range r.Header {
+		h[k] = vs
+	}
+	h.Set("Host", r.Host)
+	if r.Close {
+		h.Set("Connection", "close")
+	}
+	chunked := false
+	switch {
+	case r.Body == nil:
+		// Methods that conventionally carry bodies get an explicit zero.
+		if r.Method == "PUT" || r.Method == "POST" {
+			h.Set("Content-Length", "0")
+		}
+	case r.ContentLength >= 0:
+		h.Set("Content-Length", strconv.FormatInt(r.ContentLength, 10))
+	default:
+		h.Set("Transfer-Encoding", "chunked")
+		chunked = true
+	}
+	if err := h.Write(bw); err != nil {
+		return err
+	}
+
+	if r.Body != nil {
+		if chunked {
+			if err := writeChunked(bw, r.Body); err != nil {
+				return err
+			}
+		} else if _, err := io.CopyN(bw, r.Body, r.ContentLength); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// writeChunked copies body to w using chunked transfer encoding.
+func writeChunked(w io.Writer, body io.Reader) error {
+	buf := make([]byte, 16*1024)
+	for {
+		n, err := body.Read(buf)
+		if n > 0 {
+			if _, werr := fmt.Fprintf(w, "%x\r\n", n); werr != nil {
+				return werr
+			}
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return werr
+			}
+			if _, werr := io.WriteString(w, "\r\n"); werr != nil {
+				return werr
+			}
+		}
+		if err == io.EOF {
+			_, werr := io.WriteString(w, "0\r\n\r\n")
+			return werr
+		}
+		if err != nil {
+			return err
+		}
+	}
+}

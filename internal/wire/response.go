@@ -1,0 +1,269 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net/textproto"
+	"strconv"
+	"strings"
+)
+
+// Response is a parsed HTTP response. Body must be drained (read to EOF) or
+// closed before the underlying connection can be reused; KeepAlive reports
+// whether reuse is permitted at all.
+type Response struct {
+	// StatusCode is the numeric status (200, 206, 404, ...).
+	StatusCode int
+
+	// Status is the full status line reason ("206 Partial Content").
+	Status string
+
+	// Proto is the protocol version string ("HTTP/1.1").
+	Proto string
+
+	// Header holds the response headers.
+	Header Header
+
+	// Body streams the message body. It reads io.EOF exactly at the end of
+	// the message; for keep-alive framing the connection is then positioned
+	// at the next response.
+	Body io.ReadCloser
+
+	// ContentLength is the declared body length, or -1 when unknown
+	// (chunked or close-delimited).
+	ContentLength int64
+
+	// KeepAlive reports whether the connection may be reused after the
+	// body has been fully consumed.
+	KeepAlive bool
+}
+
+// Parse errors.
+var (
+	ErrMalformedResponse = errors.New("wire: malformed response")
+	ErrBodyNotConsumed   = errors.New("wire: previous body not consumed")
+)
+
+// ReadResponse parses one response for the given request method from br.
+func ReadResponse(br *bufio.Reader, method string) (*Response, error) {
+	tp := textproto.NewReader(br)
+	line, err := tp.ReadLine()
+	if err != nil {
+		return nil, err
+	}
+	proto, rest, ok := strings.Cut(line, " ")
+	if !ok || !strings.HasPrefix(proto, "HTTP/") {
+		return nil, fmt.Errorf("%w: status line %q", ErrMalformedResponse, line)
+	}
+	codeStr, _, _ := strings.Cut(rest, " ")
+	code, err := strconv.Atoi(codeStr)
+	if err != nil || code < 100 || code > 599 {
+		return nil, fmt.Errorf("%w: status code in %q", ErrMalformedResponse, line)
+	}
+
+	mh, err := tp.ReadMIMEHeader()
+	if err != nil {
+		return nil, fmt.Errorf("%w: headers: %v", ErrMalformedResponse, err)
+	}
+	h := Header(mh)
+
+	resp := &Response{
+		StatusCode: code,
+		Status:     rest,
+		Proto:      proto,
+		Header:     h,
+	}
+
+	// Keep-alive: HTTP/1.1 defaults to persistent unless "Connection: close";
+	// HTTP/1.0 requires an explicit keep-alive.
+	conn := h.Get("Connection")
+	switch proto {
+	case "HTTP/1.1":
+		resp.KeepAlive = !hasToken(conn, "close")
+	case "HTTP/1.0":
+		resp.KeepAlive = hasToken(conn, "keep-alive")
+	default:
+		resp.KeepAlive = false
+	}
+
+	// Body framing per RFC 7230 §3.3.3.
+	switch {
+	case method == "HEAD" || code/100 == 1 || code == 204 || code == 304:
+		resp.ContentLength = 0
+		resp.Body = &fixedBody{r: br, remaining: 0}
+	case hasToken(h.Get("Transfer-Encoding"), "chunked"):
+		resp.ContentLength = -1
+		resp.Body = &chunkedBody{br: br}
+	case h.Get("Content-Length") != "":
+		n, err := strconv.ParseInt(h.Get("Content-Length"), 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%w: content-length %q", ErrMalformedResponse, h.Get("Content-Length"))
+		}
+		resp.ContentLength = n
+		resp.Body = &fixedBody{r: br, remaining: n}
+	default:
+		// Close-delimited: body runs to connection EOF; never reusable.
+		resp.ContentLength = -1
+		resp.KeepAlive = false
+		resp.Body = &eofBody{r: br}
+	}
+	return resp, nil
+}
+
+// Consumed reports whether the body has been fully read, leaving the
+// connection positioned at the next response.
+func (r *Response) Consumed() bool {
+	switch b := r.Body.(type) {
+	case *fixedBody:
+		return b.remaining == 0
+	case *chunkedBody:
+		return b.done
+	case *eofBody:
+		return b.done
+	}
+	return false
+}
+
+// Discard drains and closes the body so the connection can be recycled.
+func (r *Response) Discard() error {
+	_, err := io.Copy(io.Discard, r.Body)
+	if cerr := r.Body.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// fixedBody reads exactly remaining bytes.
+type fixedBody struct {
+	r         io.Reader
+	remaining int64
+}
+
+func (b *fixedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.r.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF && b.remaining > 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *fixedBody) Close() error { return nil }
+
+// chunkedBody decodes chunked transfer encoding, including the final CRLF
+// and (ignored) trailers.
+type chunkedBody struct {
+	br        *bufio.Reader
+	chunkLeft int64
+	done      bool
+	err       error
+}
+
+func (b *chunkedBody) Read(p []byte) (int, error) {
+	if b.err != nil {
+		return 0, b.err
+	}
+	if b.done {
+		return 0, io.EOF
+	}
+	if b.chunkLeft == 0 {
+		if err := b.nextChunk(); err != nil {
+			b.err = err
+			return 0, err
+		}
+		if b.done {
+			return 0, io.EOF
+		}
+	}
+	if int64(len(p)) > b.chunkLeft {
+		p = p[:b.chunkLeft]
+	}
+	n, err := b.br.Read(p)
+	b.chunkLeft -= int64(n)
+	if b.chunkLeft == 0 && err == nil {
+		// Consume the chunk-terminating CRLF.
+		err = b.expectCRLF()
+	}
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	if err != nil {
+		b.err = err
+	}
+	return n, err
+}
+
+func (b *chunkedBody) nextChunk() error {
+	line, err := readLine(b.br)
+	if err != nil {
+		return err
+	}
+	// Strip chunk extensions.
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		line = line[:i]
+	}
+	size, err := strconv.ParseInt(strings.TrimSpace(line), 16, 64)
+	if err != nil || size < 0 {
+		return fmt.Errorf("%w: chunk size %q", ErrMalformedResponse, line)
+	}
+	if size == 0 {
+		// Trailers until blank line.
+		for {
+			l, err := readLine(b.br)
+			if err != nil {
+				return err
+			}
+			if l == "" {
+				b.done = true
+				return nil
+			}
+		}
+	}
+	b.chunkLeft = size
+	return nil
+}
+
+func (b *chunkedBody) expectCRLF() error {
+	line, err := readLine(b.br)
+	if err != nil {
+		return err
+	}
+	if line != "" {
+		return fmt.Errorf("%w: missing chunk CRLF", ErrMalformedResponse)
+	}
+	return nil
+}
+
+func (b *chunkedBody) Close() error { return nil }
+
+// eofBody reads to connection EOF.
+type eofBody struct {
+	r    io.Reader
+	done bool
+}
+
+func (b *eofBody) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	if err == io.EOF {
+		b.done = true
+	}
+	return n, err
+}
+
+func (b *eofBody) Close() error { return nil }
+
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}

@@ -1,0 +1,8 @@
+package xrootd
+
+// EncodeChunksForTest and DecodeChunksForTest expose the readv chunk codec
+// for the repository-level benchmarks.
+func EncodeChunksForTest(chunks []Chunk) []byte { return encodeChunks(chunks) }
+
+// DecodeChunksForTest parses a readv chunk list.
+func DecodeChunksForTest(payload []byte) ([]Chunk, error) { return decodeChunks(payload) }

@@ -1,0 +1,232 @@
+// Package xrootd implements an XRootD-inspired binary data-access protocol,
+// the HPC-specific baseline the paper compares davix against (§2.2, §3).
+//
+// Like the real XRootD, the protocol multiplexes concurrent requests over a
+// single TCP connection using 16-bit stream identifiers (responses may
+// arrive out of order), supports vectored reads (kXR_readv analogue), and
+// the client offers an asynchronous sliding-window readahead — the feature
+// the paper credits for XRootD's advantage on high-latency WAN links.
+//
+// The wire format is not byte-compatible with real XRootD; it reproduces
+// the architectural properties the paper discusses (multiplexing, vectored
+// and asynchronous I/O) with an independent, compact framing.
+package xrootd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol constants.
+const (
+	// Magic opens the client handshake.
+	Magic = 0x784f4f54 // "xROT"
+	// Version is the protocol version exchanged at handshake.
+	Version = 1
+	// MaxFrame bounds a frame payload.
+	MaxFrame = 64 << 20
+)
+
+// Request opcodes.
+const (
+	ReqLogin uint16 = iota + 1
+	ReqOpen
+	ReqStat
+	ReqRead
+	ReqReadV
+	ReqClose
+)
+
+// Response status codes.
+const (
+	StatusOK uint16 = iota
+	StatusNotFound
+	StatusBadRequest
+	StatusIOError
+)
+
+// Protocol errors.
+var (
+	ErrFrameTooLarge = errors.New("xrootd: frame exceeds MaxFrame")
+	ErrBadHandshake  = errors.New("xrootd: bad handshake")
+)
+
+// requestHeader is the fixed 24-byte request frame header.
+//
+//	0:2   streamID
+//	2:4   opcode
+//	4:8   file handle
+//	8:16  offset
+//	16:20 length
+//	20:24 payload length
+type requestFrame struct {
+	Stream  uint16
+	Op      uint16
+	Handle  uint32
+	Offset  uint64
+	Length  uint32
+	Payload []byte
+}
+
+const reqHeaderLen = 24
+
+func writeRequest(w io.Writer, f *requestFrame) error {
+	if len(f.Payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [reqHeaderLen]byte
+	binary.BigEndian.PutUint16(hdr[0:2], f.Stream)
+	binary.BigEndian.PutUint16(hdr[2:4], f.Op)
+	binary.BigEndian.PutUint32(hdr[4:8], f.Handle)
+	binary.BigEndian.PutUint64(hdr[8:16], f.Offset)
+	binary.BigEndian.PutUint32(hdr[16:20], f.Length)
+	binary.BigEndian.PutUint32(hdr[20:24], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readRequest(r io.Reader) (*requestFrame, error) {
+	var hdr [reqHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	f := &requestFrame{
+		Stream: binary.BigEndian.Uint16(hdr[0:2]),
+		Op:     binary.BigEndian.Uint16(hdr[2:4]),
+		Handle: binary.BigEndian.Uint32(hdr[4:8]),
+		Offset: binary.BigEndian.Uint64(hdr[8:16]),
+		Length: binary.BigEndian.Uint32(hdr[16:20]),
+	}
+	plen := binary.BigEndian.Uint32(hdr[20:24])
+	if plen > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	if plen > 0 {
+		f.Payload = make([]byte, plen)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// responseFrame is the fixed 8-byte response header plus payload.
+//
+//	0:2 streamID
+//	2:4 status
+//	4:8 payload length
+type responseFrame struct {
+	Stream  uint16
+	Status  uint16
+	Payload []byte
+}
+
+const respHeaderLen = 8
+
+func writeResponse(w io.Writer, f *responseFrame) error {
+	if len(f.Payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [respHeaderLen]byte
+	binary.BigEndian.PutUint16(hdr[0:2], f.Stream)
+	binary.BigEndian.PutUint16(hdr[2:4], f.Status)
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readResponse(r io.Reader) (*responseFrame, error) {
+	var hdr [respHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	f := &responseFrame{
+		Stream: binary.BigEndian.Uint16(hdr[0:2]),
+		Status: binary.BigEndian.Uint16(hdr[2:4]),
+	}
+	plen := binary.BigEndian.Uint32(hdr[4:8])
+	if plen > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	if plen > 0 {
+		f.Payload = make([]byte, plen)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Chunk is one element of a vectored read (kXR_readv analogue).
+type Chunk struct {
+	// Handle identifies the open file.
+	Handle uint32
+	// Offset is the byte offset within the file.
+	Offset int64
+	// Length is the number of bytes to read.
+	Length int32
+}
+
+const chunkWireLen = 16
+
+// encodeChunks serializes a readv chunk list.
+func encodeChunks(chunks []Chunk) []byte {
+	buf := make([]byte, len(chunks)*chunkWireLen)
+	for i, c := range chunks {
+		base := i * chunkWireLen
+		binary.BigEndian.PutUint32(buf[base:base+4], c.Handle)
+		binary.BigEndian.PutUint64(buf[base+4:base+12], uint64(c.Offset))
+		binary.BigEndian.PutUint32(buf[base+12:base+16], uint32(c.Length))
+	}
+	return buf
+}
+
+// decodeChunks parses a readv chunk list.
+func decodeChunks(payload []byte) ([]Chunk, error) {
+	if len(payload)%chunkWireLen != 0 {
+		return nil, fmt.Errorf("xrootd: readv payload length %d not a multiple of %d", len(payload), chunkWireLen)
+	}
+	chunks := make([]Chunk, len(payload)/chunkWireLen)
+	for i := range chunks {
+		base := i * chunkWireLen
+		chunks[i] = Chunk{
+			Handle: binary.BigEndian.Uint32(payload[base : base+4]),
+			Offset: int64(binary.BigEndian.Uint64(payload[base+4 : base+12])),
+			Length: int32(binary.BigEndian.Uint32(payload[base+12 : base+16])),
+		}
+	}
+	return chunks, nil
+}
+
+// statusErr converts a response status into an error.
+func statusErr(status uint16, context string) error {
+	switch status {
+	case StatusOK:
+		return nil
+	case StatusNotFound:
+		return fmt.Errorf("xrootd: %s: %w", context, ErrNotFound)
+	case StatusBadRequest:
+		return fmt.Errorf("xrootd: %s: bad request", context)
+	default:
+		return fmt.Errorf("xrootd: %s: i/o error", context)
+	}
+}
+
+// ErrNotFound reports a missing path, comparable with errors.Is.
+var ErrNotFound = errors.New("not found")
