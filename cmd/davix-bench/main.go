@@ -9,7 +9,7 @@
 //	davix-bench -repeats 10 -events 12000
 //
 // Experiments: fig1, fig2, fig3, fig4, fig4async, gap, failover,
-// multistream, all.
+// multistream, window, poolsize, prefetch, federation, cache, all.
 package main
 
 import (
@@ -72,6 +72,7 @@ func main() {
 		{"poolsize", bench.PoolSizeAblation},
 		{"prefetch", bench.PrefetchAblation},
 		{"federation", bench.FederationCompare},
+		{"cache", bench.CacheBench},
 	}
 
 	ran := 0

@@ -11,7 +11,11 @@
 //   - Metalink-based transparent replica fail-over and multi-stream
 //     parallel downloads (paper §2.4);
 //   - POSIX-like remote file operations over plain HTTP/WebDAV: Open,
-//     ReadAt, vectored Read, Stat, List, Put, Delete, Mkdir.
+//     ReadAt, vectored Read, Stat, List, Put, Delete, Mkdir;
+//   - an optional client-side block cache with single-flight miss
+//     coalescing, sequential read-ahead prefetch, and a TTL'd stat cache
+//     with negative entries, hiding round trips on high-RTT links
+//     (Options.CacheSize, BlockSize, ReadAhead, StatTTL; see CacheStats).
 //
 // Quickstart:
 //
@@ -30,6 +34,7 @@ import (
 	"net"
 	"time"
 
+	"godavix/internal/blockcache"
 	"godavix/internal/core"
 	"godavix/internal/metalink"
 	"godavix/internal/pool"
@@ -118,7 +123,24 @@ type Options struct {
 	VerifyChecksums bool
 	// S3 signs every request with AWS Signature V4 (cloud-storage mode).
 	S3 *S3Credentials
+
+	// CacheSize enables the shared client-side block cache: total bytes
+	// of remote data kept in memory across all files (0 = no caching,
+	// today's behaviour). Reads served from cache cost no round trip;
+	// concurrent misses on one block issue a single GET.
+	CacheSize int64
+	// BlockSize is the cache page granularity (default 64 KiB).
+	BlockSize int64
+	// ReadAhead asynchronously prefetches this many blocks ahead of a
+	// detected sequential scan (0 disables; needs CacheSize > 0).
+	ReadAhead int
+	// StatTTL caches Stat/Open metadata — 404s included, as negative
+	// entries — for this duration (0 disables).
+	StatTTL time.Duration
 }
+
+// CacheStats are the client cache counters; see Client.CacheStats.
+type CacheStats = blockcache.Stats
 
 // S3Credentials identify an AWS SigV4 principal.
 type S3Credentials = s3.Credentials
@@ -128,6 +150,9 @@ type Credentials = core.Credentials
 
 // ErrChecksumMismatch reports a failed end-to-end integrity check.
 var ErrChecksumMismatch = core.ErrChecksumMismatch
+
+// ErrFileClosed reports use of a File after Close.
+var ErrFileClosed = core.ErrFileClosed
 
 // tcpDialer adapts net.Dialer to the pool.Dialer interface.
 type tcpDialer struct{ d net.Dialer }
@@ -167,6 +192,10 @@ func New(opts Options) (*Client, error) {
 		Auth:                opts.Auth,
 		VerifyChecksums:     opts.VerifyChecksums,
 		S3:                  opts.S3,
+		CacheSize:           opts.CacheSize,
+		BlockSize:           opts.BlockSize,
+		ReadAhead:           opts.ReadAhead,
+		StatTTL:             opts.StatTTL,
 	})
 	if err != nil {
 		return nil, err
@@ -182,6 +211,11 @@ func (c *Client) PoolStats() (dials, reuses, discards int64) {
 	st := c.core.PoolStats()
 	return st.Dials, st.Reuses, st.Discards
 }
+
+// CacheStats reports block-cache and stat-cache counters (hits, misses,
+// evictions, prefetches, single-flight joins). All zeros when caching is
+// disabled.
+func (c *Client) CacheStats() CacheStats { return c.core.CacheStats() }
 
 // splitURL parses "http://host:port/path" (scheme optional).
 func splitURL(url string) (host, path string, err error) {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"testing"
+	"time"
 
 	"godavix/internal/httpserv"
 	"godavix/internal/metalink"
@@ -272,5 +273,54 @@ func TestPublicAuthAndChecksums(t *testing.T) {
 	got, err := c.Get(context.Background(), "http://s:80/f")
 	if err != nil || string(got) != "locked" {
 		t.Fatalf("got %q err=%v", got, err)
+	}
+}
+
+func TestPublicCacheOptionsAndStats(t *testing.T) {
+	_, st, c := startFabric(t, Options{
+		Strategy:  StrategyNone,
+		CacheSize: 1 << 20,
+		BlockSize: 1 << 10,
+		ReadAhead: 2,
+		StatTTL:   time.Minute,
+	})
+	ctx := context.Background()
+
+	blob := make([]byte, 8<<10)
+	rand.New(rand.NewSource(9)).Read(blob)
+	st.Put("/f", blob)
+
+	f, err := c.Open(ctx, "http://dpm1:80/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2048)
+	for i := 0; i < 3; i++ {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(buf, blob[:2048]) {
+		t.Fatal("cached read corrupt")
+	}
+	cs := c.CacheStats()
+	if cs.Hits == 0 || cs.Misses == 0 {
+		t.Fatalf("cache stats = %+v, want hits and misses", cs)
+	}
+	if _, err := c.Stat(ctx, "http://dpm1:80/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat(ctx, "http://dpm1:80/f"); err != nil {
+		t.Fatal(err)
+	}
+	if cs := c.CacheStats(); cs.StatHits == 0 {
+		t.Fatalf("stat cache never hit: %+v", cs)
+	}
+
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, ErrFileClosed) {
+		t.Fatalf("ReadAt after Close = %v, want ErrFileClosed", err)
 	}
 }

@@ -1,0 +1,3 @@
+module godavix
+
+go 1.22

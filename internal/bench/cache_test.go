@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"godavix/internal/core"
+)
+
+// TestCacheBenchSpeedup pins the ISSUE-1 acceptance bar: on the WAN
+// profile the block cache + read-ahead must cut wall-clock by at least 2x
+// on both the repeated-read and the sequential-scan workload.
+func TestCacheBenchSpeedup(t *testing.T) {
+	workloads := []struct {
+		name string
+		run  func(context.Context, *core.File) error
+	}{
+		{"repeated-read", func(ctx context.Context, f *core.File) error {
+			return cacheRepeatedRead(ctx, f, 4, 6)
+		}},
+		{"sequential-scan", cacheSequentialScan},
+	}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			base, _, baseGets, err := runCacheWorkload(uncachedOpts(), w.run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cached, stats, cachedGets, err := runCacheWorkload(cachedOpts(), w.run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("uncached %v (%d GETs) cached %v (%d GETs) stats %+v",
+				base, baseGets, cached, cachedGets, stats)
+			if cached*2 > base {
+				t.Fatalf("cached %v not 2x faster than uncached %v", cached, base)
+			}
+			if stats.Hits == 0 {
+				t.Fatalf("no cache hits recorded: %+v", stats)
+			}
+			// Counter consistency: every block either hit, missed, joined a
+			// flight, or was prefetched; the server saw one GET per
+			// miss+prefetch at most (joins and hits are free).
+			if got := stats.Misses + stats.Prefetched; cachedGets > got {
+				t.Fatalf("server GETs %d > misses+prefetched %d", cachedGets, got)
+			}
+		})
+	}
+}
+
+// TestCacheBenchReadAheadEngages verifies the sequential-scan run actually
+// exercises the prefetcher rather than winning on LRU reuse.
+func TestCacheBenchReadAheadEngages(t *testing.T) {
+	_, stats, _, err := runCacheWorkload(cachedOpts(), cacheSequentialScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Prefetched == 0 {
+		t.Fatalf("sequential scan never prefetched: %+v", stats)
+	}
+	if stats.Hits+stats.SingleFlightJoins == 0 {
+		t.Fatalf("scan never consumed prefetched blocks: %+v", stats)
+	}
+}

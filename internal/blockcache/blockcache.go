@@ -1,0 +1,496 @@
+// Package blockcache implements the client-side caching layer of the davix
+// engine: a block-aligned LRU page cache shared by every file a client
+// touches, a sequential-access-detecting read-ahead prefetcher, and a TTL'd
+// stat/metadata cache with negative (404) entries.
+//
+// The paper (Devresse & Furano §2.2–§2.3) hides network round trips with
+// pooled keep-alive sessions and TreeCache-style gathered reads; this
+// package extends the same idea to repeated and sequential access: once a
+// block has crossed a high-RTT link it is served from memory, concurrent
+// misses on one block are coalesced into a single GET (single-flight), and
+// detected forward scans pull the next blocks asynchronously through the
+// connection pool before the application asks for them.
+//
+// The cache is storage-agnostic: callers hand it a Fetch function per read
+// and the cache decides which block-aligned spans actually hit the network.
+package blockcache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultBlockSize is the block granularity used when Config.BlockSize is
+// zero. 64 KiB amortizes one WAN round trip over a useful amount of data
+// without blowing up small random reads.
+const DefaultBlockSize = 64 << 10
+
+// maxSeqEntries bounds the per-key sequential-access detector state; when
+// exceeded the heuristic state is reset (costing at worst one missed
+// read-ahead trigger per key, never correctness).
+const maxSeqEntries = 4096
+
+// Fetch retrieves [off, off+length) of the remote object backing a cache
+// key. The cache invokes it only for block-aligned spans — on demand misses
+// and for read-ahead — so one Fetch call is one range GET. A result shorter
+// than length means the object ends inside the span.
+type Fetch func(ctx context.Context, off, length int64) ([]byte, error)
+
+// Config sizes a Cache.
+type Config struct {
+	// Capacity is the total number of payload bytes kept across all keys.
+	// Required (> 0).
+	Capacity int64
+	// BlockSize is the cache page size in bytes (default DefaultBlockSize).
+	BlockSize int64
+	// ReadAhead is how many blocks past the current read are prefetched
+	// once a sequential scan is detected. 0 disables read-ahead.
+	ReadAhead int
+	// Background is the context prefetch fetches run under, typically the
+	// owning client's lifetime (default context.Background()). Cancelling
+	// it stops in-flight prefetches.
+	Background context.Context
+}
+
+// Stats are the cache's monotonic counters. Block counters count blocks,
+// not bytes; stat counters are filled in by the owning client from its
+// StatCache.
+type Stats struct {
+	// Hits counts blocks served from memory.
+	Hits int64
+	// Misses counts blocks that were not resident when a demand read
+	// needed them.
+	Misses int64
+	// Evictions counts blocks dropped to make room at capacity.
+	Evictions int64
+	// Prefetched counts blocks successfully fetched by the read-ahead
+	// engine.
+	Prefetched int64
+	// SingleFlightJoins counts reads that waited on another reader's
+	// in-flight fetch of the same block instead of issuing their own.
+	SingleFlightJoins int64
+	// BytesCached is the current resident payload size.
+	BytesCached int64
+	// StatHits / StatMisses count metadata-cache lookups (including
+	// negative 404 hits).
+	StatHits, StatMisses int64
+}
+
+// blockKey addresses one cache page: a caller-chosen object key (davix uses
+// "host\x00path") plus the block index within the object.
+type blockKey struct {
+	key string
+	idx int64
+}
+
+type block struct {
+	bk   blockKey
+	data []byte
+}
+
+// flight is one in-progress block fetch; concurrent readers of the same
+// block wait on done instead of issuing duplicate GETs.
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+	gen  uint64
+}
+
+// seqState tracks the access pattern of one key for read-ahead detection.
+type seqState struct {
+	// next is the block index a forward-sequential reader would touch next.
+	next int64
+	// streak counts consecutive forward-sequential reads.
+	streak int
+	// limit, when >= 0, is the first block index known to lie past the end
+	// of the object (learned from a short block or a failed prefetch);
+	// read-ahead never goes there.
+	limit int64
+}
+
+// Cache is a block-aligned LRU page cache with single-flight miss
+// coalescing and asynchronous read-ahead. It is safe for concurrent use.
+type Cache struct {
+	cap int64
+	bs  int64
+	ra  int
+	bg  context.Context
+
+	mu       sync.Mutex
+	lru      *list.List // of *block; front = most recently used
+	blocks   map[blockKey]*list.Element
+	used     int64
+	inflight map[blockKey]*flight
+	// gen is a cache-wide generation counter bumped by every Invalidate;
+	// fetches and PutSpan callers snapshot it before touching the network
+	// so a racing invalidation fences their (possibly stale) result out.
+	gen uint64
+	seq map[string]*seqState
+
+	hits, misses, evictions, prefetched, joins atomic.Int64
+}
+
+// New creates a Cache. Capacity must be positive; BlockSize defaults to
+// DefaultBlockSize and Background to context.Background().
+func New(cfg Config) *Cache {
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	if cfg.Background == nil {
+		cfg.Background = context.Background()
+	}
+	return &Cache{
+		cap:      cfg.Capacity,
+		bs:       cfg.BlockSize,
+		ra:       cfg.ReadAhead,
+		bg:       cfg.Background,
+		lru:      list.New(),
+		blocks:   make(map[blockKey]*list.Element),
+		inflight: make(map[blockKey]*flight),
+		seq:      make(map[string]*seqState),
+	}
+}
+
+// BlockSize returns the configured page size.
+func (c *Cache) BlockSize() int64 { return c.bs }
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	bytes := c.used
+	c.mu.Unlock()
+	return Stats{
+		Hits:              c.hits.Load(),
+		Misses:            c.misses.Load(),
+		Evictions:         c.evictions.Load(),
+		Prefetched:        c.prefetched.Load(),
+		SingleFlightJoins: c.joins.Load(),
+		BytesCached:       bytes,
+	}
+}
+
+// Len reports the number of resident blocks.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Contains reports whether the block holding byte off of key is resident,
+// without touching LRU order or counters.
+func (c *Cache) Contains(key string, off int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.blocks[blockKey{key, off / c.bs}]
+	return ok
+}
+
+// Generation snapshots the invalidation generation. Callers that fetch
+// object data outside the cache (whole-object GETs, vectored reads) take it
+// before the network round trip and pass it to PutSpan, which then refuses
+// to install the bytes if any Invalidate happened in between.
+func (c *Cache) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// ReadThrough fills p with bytes [off, off+len(p)) of the object named key,
+// serving resident blocks from memory and fetching missing ones with fetch.
+// size is the object size when known (the caller must then keep the request
+// within it) or -1 when unknown, in which case a short block marks end of
+// object and ReadThrough returns the bytes available. A detected forward
+// scan triggers asynchronous read-ahead of the following blocks.
+func (c *Cache) ReadThrough(ctx context.Context, key string, size int64, p []byte, off int64, fetch Fetch) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	want := int64(len(p))
+	first := off / c.bs
+	last := (off + want - 1) / c.bs
+	n := 0
+	for idx := first; idx <= last; idx++ {
+		blockOff := idx * c.bs
+		blockLen := c.bs
+		if size >= 0 && blockOff+blockLen > size {
+			blockLen = size - blockOff
+		}
+		data, err := c.getBlock(ctx, key, idx, blockLen, fetch, false)
+		if err != nil {
+			return n, err
+		}
+		from := off + int64(n) - blockOff
+		if from >= int64(len(data)) {
+			break // object ends inside this short block
+		}
+		n += copy(p[n:], data[from:])
+		if int64(len(data)) < blockLen {
+			break
+		}
+	}
+	c.readAhead(key, first, last, size, fetch)
+	return n, nil
+}
+
+// getBlock returns the payload of block idx of key, from memory, by joining
+// an in-flight fetch, or by fetching [idx*bs, idx*bs+blockLen) itself.
+func (c *Cache) getBlock(ctx context.Context, key string, idx, blockLen int64, fetch Fetch, prefetch bool) ([]byte, error) {
+	bk := blockKey{key, idx}
+	for {
+		c.mu.Lock()
+		if el, ok := c.blocks[bk]; ok {
+			c.lru.MoveToFront(el)
+			data := el.Value.(*block).data
+			c.mu.Unlock()
+			if !prefetch {
+				c.hits.Add(1)
+			}
+			return data, nil
+		}
+		if fl, ok := c.inflight[bk]; ok {
+			c.mu.Unlock()
+			if prefetch {
+				return nil, nil // someone else is already on it
+			}
+			c.joins.Add(1)
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			// The flight owner may have been cancelled by its own context
+			// while ours is still alive; that is not our error — go around
+			// and fetch the block ourselves.
+			if (errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded)) && ctx.Err() == nil {
+				continue
+			}
+			return fl.data, fl.err
+		}
+		fl := &flight{done: make(chan struct{}), gen: c.gen}
+		c.inflight[bk] = fl
+		c.mu.Unlock()
+
+		if !prefetch {
+			c.misses.Add(1)
+		}
+		data, err := fetch(ctx, idx*c.bs, blockLen)
+		if err == nil && int64(len(data)) > blockLen {
+			data = data[:blockLen]
+		}
+		fl.data, fl.err = data, err
+
+		c.mu.Lock()
+		delete(c.inflight, bk)
+		switch {
+		case err == nil && len(data) > 0 && c.gen == fl.gen:
+			// No Invalidate raced this fetch: safe to keep.
+			c.insertLocked(bk, data)
+			if prefetch {
+				c.prefetched.Add(1)
+			}
+			if int64(len(data)) < blockLen {
+				c.setEOFLimitLocked(key, idx+1)
+			}
+		case err != nil && prefetch:
+			// A failed prefetch usually means the speculative block lies
+			// past the end of the object; stop read-ahead there. (A
+			// transient network error over-trims at worst — demand reads
+			// are unaffected and Invalidate resets the bound.)
+			c.setEOFLimitLocked(key, idx)
+		}
+		c.mu.Unlock()
+		close(fl.done)
+		return data, err
+	}
+}
+
+// setEOFLimitLocked records that block idx is the first one past the end of
+// key's object, bounding future read-ahead. Caller holds mu.
+func (c *Cache) setEOFLimitLocked(key string, idx int64) {
+	if c.ra <= 0 {
+		return
+	}
+	st := c.seqStateLocked(key)
+	if st.limit < 0 || idx < st.limit {
+		st.limit = idx
+	}
+}
+
+// seqStateLocked returns (creating if needed) key's detector state, keeping
+// the map bounded. Caller holds mu.
+func (c *Cache) seqStateLocked(key string) *seqState {
+	st := c.seq[key]
+	if st == nil {
+		if len(c.seq) >= maxSeqEntries {
+			c.seq = make(map[string]*seqState)
+		}
+		st = &seqState{limit: -1}
+		c.seq[key] = st
+	}
+	return st
+}
+
+// insertLocked adds a block and evicts from the LRU tail to stay within
+// capacity. Caller holds mu.
+func (c *Cache) insertLocked(bk blockKey, data []byte) {
+	if _, ok := c.blocks[bk]; ok {
+		return
+	}
+	c.blocks[bk] = c.lru.PushFront(&block{bk: bk, data: data})
+	c.used += int64(len(data))
+	for c.used > c.cap && c.lru.Len() > 0 {
+		c.removeLocked(c.lru.Back())
+		c.evictions.Add(1)
+	}
+}
+
+// removeLocked drops one block. Caller holds mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	b := el.Value.(*block)
+	c.lru.Remove(el)
+	delete(c.blocks, b.bk)
+	c.used -= int64(len(b.data))
+}
+
+// readAhead updates the sequential-access detector for key after a demand
+// read of blocks [first, last] and, on a forward scan, prefetches the next
+// ReadAhead blocks in the background.
+func (c *Cache) readAhead(key string, first, last, size int64, fetch Fetch) {
+	if c.ra <= 0 {
+		return
+	}
+	c.mu.Lock()
+	st := c.seqStateLocked(key)
+	// Forward-sequential: this read starts at (or overlaps) where the
+	// previous one left off. A scan starting at block 0 counts immediately.
+	sequential := first <= st.next && last+1 > st.next
+	if sequential {
+		st.streak++
+	} else {
+		st.streak = 0
+	}
+	st.next = last + 1
+	limit := st.limit
+	trigger := sequential && st.streak >= 1
+	c.mu.Unlock()
+	if !trigger {
+		return
+	}
+	for i := int64(1); i <= int64(c.ra); i++ {
+		idx := last + i
+		blockOff := idx * c.bs
+		if size >= 0 && blockOff >= size {
+			break
+		}
+		if limit >= 0 && idx >= limit {
+			break // known to be past the end of the object
+		}
+		blockLen := c.bs
+		if size >= 0 && blockOff+blockLen > size {
+			blockLen = size - blockOff
+		}
+		go c.getBlock(c.bg, key, idx, blockLen, fetch, true)
+	}
+}
+
+// PeekSpan copies [off, off+len(p)) of key into p if every covering block
+// is resident, reporting whether it served the whole span. It never touches
+// the network; vectored reads use it to split cached fragments from the
+// ones worth a multi-range request. Counters stay block-symmetric: a served
+// span counts one hit per block, a failed one one miss per absent block.
+func (c *Cache) PeekSpan(key string, p []byte, off int64) bool {
+	if len(p) == 0 {
+		return true
+	}
+	want := int64(len(p))
+	first := off / c.bs
+	last := (off + want - 1) / c.bs
+	c.mu.Lock()
+	var missing int64
+	for idx := first; idx <= last; idx++ {
+		if _, ok := c.blocks[blockKey{key, idx}]; !ok {
+			missing++
+		}
+	}
+	if missing > 0 {
+		c.mu.Unlock()
+		c.misses.Add(missing)
+		return false
+	}
+	n := 0
+	for idx := first; idx <= last; idx++ {
+		el := c.blocks[blockKey{key, idx}]
+		data := el.Value.(*block).data
+		from := off + int64(n) - idx*c.bs
+		if from >= int64(len(data)) {
+			c.mu.Unlock()
+			return false // span extends past end of object
+		}
+		n += copy(p[n:], data[from:])
+	}
+	if int64(n) < want {
+		c.mu.Unlock()
+		return false
+	}
+	for idx := first; idx <= last; idx++ {
+		c.lru.MoveToFront(c.blocks[blockKey{key, idx}])
+	}
+	c.mu.Unlock()
+	c.hits.Add(last - first + 1)
+	return true
+}
+
+// PutSpan inserts the blocks fully covered by data (the object's content at
+// [off, off+len(data))) without any network traffic — e.g. the fragments a
+// vectored read just fetched, or a whole-object GET. gen must be a
+// Generation() snapshot taken before the data was fetched: if any
+// Invalidate happened since, the possibly-stale span is dropped. eof marks
+// that data ends exactly at the object's end, allowing the trailing partial
+// block to be cached too.
+func (c *Cache) PutSpan(key string, gen uint64, off int64, data []byte, eof bool) {
+	end := off + int64(len(data))
+	idx := (off + c.bs - 1) / c.bs // first block starting inside the span
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		return
+	}
+	for ; idx*c.bs < end; idx++ {
+		blockEnd := idx*c.bs + c.bs
+		if blockEnd > end {
+			if !eof {
+				break
+			}
+			blockEnd = end
+		}
+		bk := blockKey{key, idx}
+		if _, ok := c.blocks[bk]; ok {
+			continue
+		}
+		if _, ok := c.inflight[bk]; ok {
+			continue
+		}
+		c.insertLocked(bk, append([]byte(nil), data[idx*c.bs-off:blockEnd-off]...))
+	}
+}
+
+// Invalidate drops every resident block of key and bumps the generation so
+// in-flight fetches and pending PutSpans cannot install stale data.
+// Mutating operations (Put, Delete) and File.Close call it.
+func (c *Cache) Invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	delete(c.seq, key)
+	var next *list.Element
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		if el.Value.(*block).bk.key == key {
+			c.removeLocked(el)
+		}
+	}
+}

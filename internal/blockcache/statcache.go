@@ -1,0 +1,115 @@
+package blockcache
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxStatEntries bounds the metadata cache so namespace walks over huge
+// trees cannot grow it without limit; once full, expired then arbitrary
+// entries are shed.
+const maxStatEntries = 65536
+
+// StatCache is a TTL'd metadata cache. A key maps either to a value (a
+// successful Stat) or to an error (a negative entry, e.g. a 404), so storms
+// of Stat/Open/Walk calls on hot and on missing paths are both absorbed.
+// It is safe for concurrent use.
+type StatCache[V any] struct {
+	ttl time.Duration
+	now func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	entries map[string]statEntry[V]
+
+	hits, misses atomic.Int64
+}
+
+type statEntry[V any] struct {
+	val     V
+	err     error
+	expires time.Time
+}
+
+// NewStatCache creates a StatCache whose entries live for ttl.
+func NewStatCache[V any](ttl time.Duration) *StatCache[V] {
+	return &StatCache[V]{
+		ttl:     ttl,
+		now:     time.Now,
+		entries: make(map[string]statEntry[V]),
+	}
+}
+
+// Get returns the cached value or negative error for key. ok is false on a
+// miss (absent or expired).
+func (s *StatCache[V]) Get(key string) (v V, err error, ok bool) {
+	s.mu.Lock()
+	e, found := s.entries[key]
+	if found && s.now().Before(e.expires) {
+		s.mu.Unlock()
+		s.hits.Add(1)
+		return e.val, e.err, true
+	}
+	if found {
+		delete(s.entries, key) // expired
+	}
+	s.mu.Unlock()
+	s.misses.Add(1)
+	return v, nil, false
+}
+
+// Put caches a successful lookup.
+func (s *StatCache[V]) Put(key string, v V) {
+	s.put(key, statEntry[V]{val: v})
+}
+
+// PutError caches a negative entry: Get will return err until the TTL
+// passes or the key is invalidated.
+func (s *StatCache[V]) PutError(key string, err error) {
+	s.put(key, statEntry[V]{err: err})
+}
+
+func (s *StatCache[V]) put(key string, e statEntry[V]) {
+	e.expires = s.now().Add(s.ttl)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[key]; !ok && len(s.entries) >= maxStatEntries {
+		s.shedLocked()
+	}
+	s.entries[key] = e
+}
+
+// shedLocked makes room: first drops expired entries, then arbitrary ones.
+func (s *StatCache[V]) shedLocked() {
+	now := s.now()
+	for k, e := range s.entries {
+		if !now.Before(e.expires) {
+			delete(s.entries, k)
+		}
+	}
+	for k := range s.entries {
+		if len(s.entries) < maxStatEntries {
+			break
+		}
+		delete(s.entries, k)
+	}
+}
+
+// Invalidate drops key's entry (positive or negative).
+func (s *StatCache[V]) Invalidate(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.entries, key)
+}
+
+// Len reports the number of resident entries, expired included.
+func (s *StatCache[V]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Counters returns the hit/miss totals.
+func (s *StatCache[V]) Counters() (hits, misses int64) {
+	return s.hits.Load(), s.misses.Load()
+}

@@ -1,0 +1,87 @@
+package blockcache
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives an injectable now().
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+type info struct{ size int64 }
+
+func newTestStatCache(ttl time.Duration) (*StatCache[info], *fakeClock) {
+	s := NewStatCache[info](ttl)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	s.now = clk.now
+	return s, clk
+}
+
+func TestStatCachePositiveAndTTLExpiry(t *testing.T) {
+	s, clk := newTestStatCache(time.Second)
+
+	if _, _, ok := s.Get("/f"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	s.Put("/f", info{size: 42})
+	v, err, ok := s.Get("/f")
+	if !ok || err != nil || v.size != 42 {
+		t.Fatalf("get = %+v %v %v", v, err, ok)
+	}
+
+	clk.advance(999 * time.Millisecond)
+	if _, _, ok := s.Get("/f"); !ok {
+		t.Fatal("expired before TTL")
+	}
+	clk.advance(2 * time.Millisecond)
+	if _, _, ok := s.Get("/f"); ok {
+		t.Fatal("survived past TTL")
+	}
+	if s.Len() != 0 {
+		t.Fatal("expired entry not purged on Get")
+	}
+	hits, misses := s.Counters()
+	if hits != 2 || misses != 2 {
+		t.Fatalf("counters = %d/%d", hits, misses)
+	}
+}
+
+func TestStatCacheNegativeEntries(t *testing.T) {
+	notFound := errors.New("404")
+	s, clk := newTestStatCache(time.Second)
+
+	s.PutError("/missing", notFound)
+	_, err, ok := s.Get("/missing")
+	if !ok || !errors.Is(err, notFound) {
+		t.Fatalf("negative get = %v %v", err, ok)
+	}
+	// Negative entries expire like positive ones.
+	clk.advance(2 * time.Second)
+	if _, _, ok := s.Get("/missing"); ok {
+		t.Fatal("negative entry survived TTL")
+	}
+	// And a Put replaces a negative entry immediately.
+	s.PutError("/f", notFound)
+	s.Put("/f", info{size: 7})
+	v, err, ok := s.Get("/f")
+	if !ok || err != nil || v.size != 7 {
+		t.Fatalf("get after overwrite = %+v %v %v", v, err, ok)
+	}
+}
+
+func TestStatCacheInvalidate(t *testing.T) {
+	s, _ := newTestStatCache(time.Minute)
+	s.Put("/a", info{size: 1})
+	s.Put("/b", info{size: 2})
+	s.Invalidate("/a")
+	if _, _, ok := s.Get("/a"); ok {
+		t.Fatal("/a survived Invalidate")
+	}
+	if _, _, ok := s.Get("/b"); !ok {
+		t.Fatal("/b lost by unrelated Invalidate")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"io"
 	"time"
 
+	"godavix/internal/blockcache"
 	"godavix/internal/metalink"
 	"godavix/internal/pool"
 	"godavix/internal/s3"
@@ -92,6 +93,24 @@ type Options struct {
 	// GETs are compared against the server's X-Checksum header and
 	// multi-stream downloads against the Metalink checksum.
 	VerifyChecksums bool
+
+	// CacheSize enables the shared client-side block cache: the total
+	// number of remote-data bytes kept in memory across all files
+	// (0 disables caching; every read then hits the network as before).
+	CacheSize int64
+
+	// BlockSize is the cache page granularity in bytes (default 64 KiB;
+	// meaningful only with CacheSize > 0).
+	BlockSize int64
+
+	// ReadAhead is how many blocks past a detected sequential scan the
+	// cache prefetches asynchronously through the pool (0 disables;
+	// requires CacheSize > 0).
+	ReadAhead int
+
+	// StatTTL caches Stat/Open metadata — including negative 404 results —
+	// for this duration, absorbing stat storms (0 disables).
+	StatTTL time.Duration
 }
 
 // Credentials carries request authentication. Exactly one mechanism
@@ -137,6 +156,13 @@ func (o Options) withDefaults() Options {
 type Client struct {
 	pool *pool.Pool
 	opts Options
+
+	// cache is the shared block cache (nil when Options.CacheSize == 0).
+	cache *blockcache.Cache
+	// statc is the TTL'd metadata cache (nil when Options.StatTTL == 0).
+	statc *blockcache.StatCache[Info]
+	// bgCancel stops the cache's background prefetches at Close.
+	bgCancel context.CancelFunc
 }
 
 // NewClient creates a Client.
@@ -145,11 +171,74 @@ func NewClient(opts Options) (*Client, error) {
 		return nil, errors.New("davix: Options.Dialer is required")
 	}
 	opts = opts.withDefaults()
-	return &Client{pool: pool.New(opts.Dialer, opts.Pool), opts: opts}, nil
+	c := &Client{pool: pool.New(opts.Dialer, opts.Pool), opts: opts}
+	if opts.CacheSize > 0 {
+		bg, cancel := context.WithCancel(context.Background())
+		c.bgCancel = cancel
+		c.cache = blockcache.New(blockcache.Config{
+			Capacity:   opts.CacheSize,
+			BlockSize:  opts.BlockSize,
+			ReadAhead:  opts.ReadAhead,
+			Background: bg,
+		})
+	}
+	if opts.StatTTL > 0 {
+		c.statc = blockcache.NewStatCache[Info](opts.StatTTL)
+	}
+	return c, nil
 }
 
-// Close releases all pooled connections.
-func (c *Client) Close() { c.pool.Close() }
+// Close stops background prefetches and releases all pooled connections.
+func (c *Client) Close() {
+	if c.bgCancel != nil {
+		c.bgCancel()
+	}
+	c.pool.Close()
+}
+
+// CacheStats reports the block-cache and stat-cache counters. All zeros
+// when caching is disabled.
+func (c *Client) CacheStats() blockcache.Stats {
+	var st blockcache.Stats
+	if c.cache != nil {
+		st = c.cache.Stats()
+	}
+	if c.statc != nil {
+		st.StatHits, st.StatMisses = c.statc.Counters()
+	}
+	return st
+}
+
+// cacheKey names host/path in the shared caches. Replicated reads cache
+// under the primary name the caller asked for.
+func cacheKey(host, path string) string { return host + "\x00" + path }
+
+// invalidateCache drops cached blocks and metadata for host/path after a
+// mutation (Put, Delete, Mkdir) so readers never see stale data from this
+// client.
+func (c *Client) invalidateCache(host, path string) {
+	if c.cache != nil {
+		c.cache.Invalidate(cacheKey(host, path))
+	}
+	if c.statc != nil {
+		c.statc.Invalidate(cacheKey(host, path))
+	}
+}
+
+// cacheFetch returns the Fetch the block cache uses to fill pages of
+// host/path: a plain range GET with the same replica failover as any
+// uncached read.
+func (c *Client) cacheFetch(host, path string) blockcache.Fetch {
+	return func(ctx context.Context, off, length int64) ([]byte, error) {
+		var out []byte
+		err := c.withFailover(ctx, host, path, func(r Replica) error {
+			b, err := c.getRangeOnce(ctx, r.Host, r.Path, off, length)
+			out = b
+			return err
+		})
+		return out, err
+	}
+}
 
 // PoolStats exposes connection pool counters (dials, reuses, discards).
 func (c *Client) PoolStats() pool.Stats { return c.pool.Stats() }

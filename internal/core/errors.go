@@ -43,6 +43,10 @@ func retryableStatus(code int) bool {
 // replica listed in the Metalink.
 var ErrAllReplicasFailed = errors.New("davix: all replicas failed")
 
+// ErrFileClosed is returned by File operations after Close, and by a
+// second Close.
+var ErrFileClosed = errors.New("davix: file already closed")
+
 // ErrVectorUnsupported is returned when the server answers a multi-range
 // request in a form the client cannot use (should not happen with
 // standards-compliant servers; kept for diagnostics).

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"godavix/internal/rangev"
 )
@@ -11,7 +12,9 @@ import (
 // File is a remote object opened for random-access reads, the engine under
 // the paper's TDavixFile. It implements io.Reader, io.ReaderAt, io.Seeker
 // and the vectored ReadVec that TTreeCache-style callers use. All reads
-// transparently fail over to Metalink replicas under StrategyFailover.
+// transparently fail over to Metalink replicas under StrategyFailover, and
+// with Options.CacheSize set they are served through the client's shared
+// block cache (with read-ahead on sequential scans).
 //
 // A File is safe for concurrent ReadAt/ReadVec; Read/Seek share a cursor
 // and need external synchronization.
@@ -22,6 +25,7 @@ type File struct {
 	path   string
 	size   int64
 	off    int64
+	closed atomic.Bool
 }
 
 // Open stats host/path (with failover) and returns a File positioned at 0.
@@ -49,6 +53,9 @@ func (f *File) Path() string { return f.path }
 
 // ReadAt reads len(p) bytes at offset off, failing over across replicas.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if f.closed.Load() {
+		return 0, ErrFileClosed
+	}
 	if off >= f.size {
 		return 0, io.EOF
 	}
@@ -59,34 +66,46 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if want == 0 {
 		return 0, nil
 	}
-	var got []byte
-	err := f.client.withFailover(f.ctx, f.host, f.path, func(r Replica) error {
-		var err error
-		got, err = f.client.getRangeOnce(f.ctx, r.Host, r.Path, off, want)
-		return err
-	})
-	if err != nil {
-		return 0, err
+	var n int
+	if f.client.cache != nil {
+		m, err := f.client.cache.ReadThrough(f.ctx, cacheKey(f.host, f.path), f.size,
+			p[:want], off, f.client.cacheFetch(f.host, f.path))
+		if err != nil {
+			return 0, err
+		}
+		n = m
+	} else {
+		var got []byte
+		err := f.client.withFailover(f.ctx, f.host, f.path, func(r Replica) error {
+			var err error
+			got, err = f.client.getRangeOnce(f.ctx, r.Host, r.Path, off, want)
+			return err
+		})
+		if err != nil {
+			return 0, err
+		}
+		n = copy(p, got)
 	}
-	n := copy(p, got)
 	if int64(n) < int64(len(p)) {
 		return n, io.EOF
 	}
 	return n, nil
 }
 
-// ReadVec performs a vectored read of ranges into dsts with failover.
+// ReadVec performs a vectored read of ranges into dsts with failover,
+// serving cache-resident fragments from memory when caching is enabled.
 func (f *File) ReadVec(ranges []rangev.Range, dsts [][]byte) error {
-	if err := validateVec(ranges, dsts); err != nil {
-		return err
+	if f.closed.Load() {
+		return ErrFileClosed
 	}
-	return f.client.withFailover(f.ctx, f.host, f.path, func(r Replica) error {
-		return f.client.readVecOnce(f.ctx, r.Host, r.Path, ranges, dsts)
-	})
+	return f.client.ReadVec(f.ctx, f.host, f.path, ranges, dsts)
 }
 
 // Read implements io.Reader using the shared cursor.
 func (f *File) Read(p []byte) (int, error) {
+	if f.closed.Load() {
+		return 0, ErrFileClosed
+	}
 	n, err := f.ReadAt(p, f.off)
 	f.off += int64(n)
 	return n, err
@@ -94,6 +113,9 @@ func (f *File) Read(p []byte) (int, error) {
 
 // Seek implements io.Seeker.
 func (f *File) Seek(offset int64, whence int) (int64, error) {
+	if f.closed.Load() {
+		return 0, ErrFileClosed
+	}
 	var abs int64
 	switch whence {
 	case io.SeekStart:
@@ -112,6 +134,18 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 	return abs, nil
 }
 
-// Close releases the file handle. Connections belong to the client pool,
-// so Close is currently a bookkeeping no-op kept for API symmetry.
-func (f *File) Close() error { return nil }
+// Close marks the handle closed — subsequent reads and seeks return
+// ErrFileClosed, as does a second Close — and releases the file's blocks
+// from the client's shared cache. The cache is keyed by host/path, so
+// closing one handle also drops blocks another still-open handle on the
+// same object had warmed; callers wanting cross-open reuse should keep the
+// File open. Connections belong to the client pool and stay pooled.
+func (f *File) Close() error {
+	if f.closed.Swap(true) {
+		return ErrFileClosed
+	}
+	if f.client.cache != nil {
+		f.client.cache.Invalidate(cacheKey(f.host, f.path))
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"strconv"
 	"time"
 
@@ -26,12 +27,20 @@ type Info struct {
 // Get fetches the whole object at host/path, failing over to Metalink
 // replicas when the host is unavailable (unless StrategyNone).
 func (c *Client) Get(ctx context.Context, host, path string) ([]byte, error) {
+	var gen uint64
+	if c.cache != nil {
+		gen = c.cache.Generation()
+	}
 	var out []byte
 	err := c.withFailover(ctx, host, path, func(r Replica) error {
 		b, err := c.getOnce(ctx, r.Host, r.Path)
 		out = b
 		return err
 	})
+	if err == nil && c.cache != nil {
+		// A full-object GET covers every block, trailing partial included.
+		c.cache.PutSpan(cacheKey(host, path), gen, 0, out, true)
+	}
 	return out, err
 }
 
@@ -60,8 +69,14 @@ func (c *Client) getOnce(ctx context.Context, host, path string) ([]byte, error)
 	return body, nil
 }
 
-// GetRange fetches length bytes at offset off with replica failover.
+// GetRange fetches length bytes at offset off with replica failover. With
+// the block cache enabled it is served block-aligned through the cache;
+// like a range-clamping server it may return fewer bytes when the object
+// ends inside the request.
 func (c *Client) GetRange(ctx context.Context, host, path string, off, length int64) ([]byte, error) {
+	if c.cache != nil {
+		return c.getRangeCached(ctx, host, path, off, length)
+	}
 	var out []byte
 	err := c.withFailover(ctx, host, path, func(r Replica) error {
 		b, err := c.getRangeOnce(ctx, r.Host, r.Path, off, length)
@@ -69,6 +84,33 @@ func (c *Client) GetRange(ctx context.Context, host, path string, off, length in
 		return err
 	})
 	return out, err
+}
+
+// getRangeCached serves GetRange through the block cache. The object size
+// is unknown here (-1): short blocks mark the end of the object.
+func (c *Client) getRangeCached(ctx context.Context, host, path string, off, length int64) ([]byte, error) {
+	if length <= 0 {
+		return nil, nil
+	}
+	p := make([]byte, length)
+	n, err := c.cache.ReadThrough(ctx, cacheKey(host, path), -1, p, off, c.cacheFetch(host, path))
+	if err != nil {
+		// A 416 on a later block after serving some bytes means the request
+		// straddled the end of an object whose size is a block multiple —
+		// the bytes already gathered ARE the short read a clamping server
+		// would have sent.
+		var se *StatusError
+		if n > 0 && errors.As(err, &se) && se.Code == 416 {
+			return p[:n], nil
+		}
+		return nil, err
+	}
+	if n == 0 {
+		// The whole request sits past the end of a cached short block;
+		// match the uncached server answer for an out-of-range request.
+		return nil, &StatusError{Code: 416, Status: "416 Requested Range Not Satisfiable", Method: "GET", Path: path}
+	}
+	return p[:n], nil
 }
 
 // getRangeOnce fetches one range from exactly one replica using a single
@@ -120,8 +162,11 @@ func (c *Client) Put(ctx context.Context, host, path string, data []byte) error 
 	if resp.StatusCode/100 != 2 {
 		return statusErr(resp, "PUT", path)
 	}
-	_, err = resp.ReadAllAndClose()
-	return err
+	if _, err := resp.ReadAllAndClose(); err != nil {
+		return err
+	}
+	c.invalidateCache(host, path)
+	return nil
 }
 
 // Delete removes the object at host/path.
@@ -134,8 +179,11 @@ func (c *Client) Delete(ctx context.Context, host, path string) error {
 	if resp.StatusCode/100 != 2 {
 		return statusErr(resp, "DELETE", path)
 	}
-	_, err = resp.ReadAllAndClose()
-	return err
+	if _, err := resp.ReadAllAndClose(); err != nil {
+		return err
+	}
+	c.invalidateCache(host, path)
+	return nil
 }
 
 // Mkdir creates a WebDAV collection at host/path.
@@ -148,8 +196,12 @@ func (c *Client) Mkdir(ctx context.Context, host, path string) error {
 	if resp.StatusCode/100 != 2 {
 		return statusErr(resp, "MKCOL", path)
 	}
-	_, err = resp.ReadAllAndClose()
-	return err
+	if _, err := resp.ReadAllAndClose(); err != nil {
+		return err
+	}
+	// A fresh collection must not keep answering from a negative entry.
+	c.invalidateCache(host, path)
+	return nil
 }
 
 // Copy asks the server at srcHost to push srcPath to destURL (WebDAV
@@ -170,8 +222,29 @@ func (c *Client) Copy(ctx context.Context, srcHost, srcPath, destURL string) err
 }
 
 // Stat describes the resource at host/path using HEAD, falling back to
-// PROPFIND for collections (HEAD reports no size/type for them).
+// PROPFIND for collections (HEAD reports no size/type for them). With
+// Options.StatTTL set, results — including 404s, cached as negative
+// entries — are served from the metadata cache for the TTL.
 func (c *Client) Stat(ctx context.Context, host, path string) (Info, error) {
+	if c.statc == nil {
+		return c.statUncached(ctx, host, path)
+	}
+	key := cacheKey(host, path)
+	if inf, cerr, ok := c.statc.Get(key); ok {
+		return inf, cerr
+	}
+	inf, err := c.statUncached(ctx, host, path)
+	switch {
+	case err == nil:
+		c.statc.Put(key, inf)
+	case errors.Is(err, ErrNotFound):
+		c.statc.PutError(key, err)
+	}
+	return inf, err
+}
+
+// statUncached performs the network Stat.
+func (c *Client) statUncached(ctx context.Context, host, path string) (Info, error) {
 	resp, err := c.doFollow(ctx, host, path, func(h, p string) *wire.Request {
 		return wire.NewRequest("HEAD", h, p)
 	})

@@ -22,9 +22,42 @@ func (c *Client) ReadVec(ctx context.Context, host, path string, ranges []rangev
 	if err := validateVec(ranges, dsts); err != nil {
 		return err
 	}
+	if c.cache != nil {
+		return c.readVecCached(ctx, host, path, ranges, dsts)
+	}
 	return c.withFailover(ctx, host, path, func(r Replica) error {
 		return c.readVecOnce(ctx, r.Host, r.Path, ranges, dsts)
 	})
+}
+
+// readVecCached serves fragments wholly resident in the block cache from
+// memory and ships only the rest as a multi-range request, afterwards
+// caching every block the fetched fragments fully cover. A TreeCache window
+// that revisits baskets thus shrinks each wire request to the cold subset.
+func (c *Client) readVecCached(ctx context.Context, host, path string, ranges []rangev.Range, dsts [][]byte) error {
+	key := cacheKey(host, path)
+	var missR []rangev.Range
+	var missD [][]byte
+	for i, r := range ranges {
+		if !c.cache.PeekSpan(key, dsts[i][:r.Len], r.Off) {
+			missR = append(missR, r)
+			missD = append(missD, dsts[i])
+		}
+	}
+	if len(missR) == 0 {
+		return nil
+	}
+	gen := c.cache.Generation()
+	err := c.withFailover(ctx, host, path, func(r Replica) error {
+		return c.readVecOnce(ctx, r.Host, r.Path, missR, missD)
+	})
+	if err != nil {
+		return err
+	}
+	for i, r := range missR {
+		c.cache.PutSpan(key, gen, r.Off, missD[i][:r.Len], false)
+	}
+	return nil
 }
 
 // validateVec checks the request shape before any network traffic, so
