@@ -258,6 +258,7 @@ func BenchmarkFig3VectoredIO(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer client.Close()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, r := range ranges {
@@ -273,6 +274,7 @@ func BenchmarkFig3VectoredIO(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer client.Close()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := client.ReadVec(ctx, bench.HTTPAddr, "/blob", ranges, dsts); err != nil {
@@ -288,6 +290,7 @@ func BenchmarkFig3VectoredIO(b *testing.B) {
 				b.Fatal(err)
 			}
 			src := bench.XrdSource(ctx, f)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := src.ReadVec(ranges, dsts); err != nil {

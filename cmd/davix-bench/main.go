@@ -9,7 +9,7 @@
 //	davix-bench -repeats 10 -events 12000
 //
 // Experiments: fig1, fig2, fig3, fig4, fig4async, gap, failover,
-// multistream, window, poolsize, prefetch, federation, cache, all.
+// multistream, window, poolsize, prefetch, federation, cache, vecpar, all.
 package main
 
 import (
@@ -73,6 +73,7 @@ func main() {
 		{"prefetch", bench.PrefetchAblation},
 		{"federation", bench.FederationCompare},
 		{"cache", bench.CacheBench},
+		{"vecpar", bench.VecPar},
 	}
 
 	ran := 0

@@ -99,6 +99,10 @@ type Options struct {
 	CoalesceGap int64
 	// MaxRangesPerRequest splits huge vectored reads (default 256).
 	MaxRangesPerRequest int
+	// VectorParallelism bounds how many multi-range batches of one
+	// vectored read run concurrently on separate pooled connections
+	// (0 = one per batch capped by MaxPerHost; 1 = serial).
+	VectorParallelism int
 
 	// Strategy selects the replica policy (default StrategyFailover).
 	Strategy Strategy
@@ -183,6 +187,7 @@ func New(opts Options) (*Client, error) {
 		RequestTimeout:      opts.RequestTimeout,
 		CoalesceGap:         opts.CoalesceGap,
 		MaxRangesPerRequest: opts.MaxRangesPerRequest,
+		VectorParallelism:   opts.VectorParallelism,
 		Strategy:            opts.Strategy,
 		MetalinkHost:        opts.MetalinkHost,
 		MaxStreams:          opts.MaxStreams,

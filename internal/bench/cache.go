@@ -102,7 +102,19 @@ func runCacheWorkload(copts core.Options, workload func(context.Context, *core.F
 		return 0, blockcache.Stats{}, 0, err
 	}
 	elapsed := timer()
+	// Let in-flight read-ahead prefetches land before snapshotting: the
+	// server counts a GET on arrival, while the client's Prefetched counter
+	// only increments on completion, so an immediate snapshot can catch the
+	// two mid-flight and disagree.
 	gets := env.HTTPServer.RequestsByMethod("GET") - gets0
+	for i := 0; i < 40; i++ {
+		time.Sleep(25 * time.Millisecond)
+		now := env.HTTPServer.RequestsByMethod("GET") - gets0
+		if now == gets && i > 0 {
+			break
+		}
+		gets = now
+	}
 	return elapsed, client.CacheStats(), gets, nil
 }
 

@@ -115,8 +115,11 @@ func Fig4(opts Options) (*Table, error) {
 
 // runHTTPAnalysis executes one analysis run over davix/HTTP with a fresh
 // client (fresh TCP sessions, as between the paper's spaced test runs).
+// VectorParallelism is pinned to 1: the paper's davix ships one multi-range
+// request at a time, and Figure 4 reproduces that behaviour — the parallel
+// batch dispatch this repo adds on top is measured by VecParBench instead.
 func runHTTPAnalysis(env *Env, opts Options, fraction float64) (AnalysisResult, error) {
-	client, err := env.NewHTTPClient(core.Options{Strategy: core.StrategyNone})
+	client, err := env.NewHTTPClient(core.Options{Strategy: core.StrategyNone, VectorParallelism: 1})
 	if err != nil {
 		return AnalysisResult{}, err
 	}

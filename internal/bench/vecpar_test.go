@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"testing"
+
+	"godavix/internal/netsim"
+)
+
+// TestVecParSpeedupWAN pins the ISSUE-2 acceptance bar: concurrent batch
+// dispatch must cut multi-batch vectored-read wall-clock by at least 2x on
+// the WAN profile versus the serial baseline.
+func TestVecParSpeedupWAN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	serial, err := runVecPar(netsim.WAN(), 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := runVecPar(netsim.WAN(), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("WAN serial %.3fs parallel %.3fs (%.2fx)",
+		serial.Mean(), parallel.Mean(), serial.Mean()/parallel.Mean())
+	if parallel.Min()*2 > serial.Min() {
+		t.Fatalf("parallel (%.3fs) not 2x faster than serial (%.3fs)",
+			parallel.Min(), serial.Min())
+	}
+}
+
+// TestVecParAllocsDrop pins the other half of the bar: the streaming,
+// buffer-pooled steady state must allocate at most half of what the seed's
+// materialize-then-scatter path pays for the same vectored read.
+func TestVecParAllocsDrop(t *testing.T) {
+	streaming, err := vecParAllocs(true, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := vecParAllocs(false, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("allocs/op: streaming=%.0f seed=%.0f (%.0f%% drop)",
+		streaming, seed, 100*(1-streaming/seed))
+	if streaming > seed/2 {
+		t.Fatalf("streaming %.0f allocs/op not ≤ half of seed %.0f", streaming, seed)
+	}
+}
+
+// TestVecParTableRuns exercises the experiment end to end at tiny scale.
+func TestVecParTableRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	table, err := VecPar(Options{Repeats: 1, Spec: tinySpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+}
+
+// BenchmarkVecParWAN lets `go test -bench` compare serial and parallel
+// batch dispatch directly; allocations are reported so a pooling
+// regression fails loudly in review.
+func BenchmarkVecParWAN(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		par  int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := runVecPar(netsim.WAN(), mode.par, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVecParAllocs reports the streaming-vs-seed scatter ablation.
+func BenchmarkVecParAllocs(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		streaming bool
+	}{{"streaming", true}, {"seed", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := vecParAllocs(mode.streaming, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -59,6 +59,18 @@ type Options struct {
 	// (default 256).
 	MaxRangesPerRequest int
 
+	// VectorParallelism bounds how many of a vectored read's multi-range
+	// batches are in flight concurrently, each on its own pooled
+	// connection. 0 (the default) opens one connection per batch, capped
+	// by Pool.MaxPerHost; 1 restores fully serial dispatch.
+	VectorParallelism int
+
+	// LegacyVecScatter switches multipart responses back to the
+	// materialize-then-scatter path (every part buffered before copying).
+	// Only the vecpar benchmark sets it, to quantify what the streaming
+	// scatter saves; it is not exposed in the public API.
+	LegacyVecScatter bool
+
 	// Strategy selects the Metalink policy (default StrategyFailover).
 	Strategy Strategy
 
@@ -278,9 +290,10 @@ func (r *Response) Close() error {
 	return nil
 }
 
-// ReadAllAndClose drains the body and closes the response.
+// ReadAllAndClose drains the body and closes the response. Known-length
+// bodies are read with one exactly-sized allocation (wire.Response.ReadAll).
 func (r *Response) ReadAllAndClose() ([]byte, error) {
-	b, err := io.ReadAll(r.Body)
+	b, err := r.ReadAll()
 	cerr := r.Close()
 	if err == nil {
 		err = cerr

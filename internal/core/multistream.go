@@ -102,18 +102,20 @@ func (c *Client) downloadFromMetalink(ctx context.Context, ml *metalink.Metalink
 					return
 				}
 				// Spread chunks across replicas; on failure walk the ring.
+				// Each chunk reads straight into its slice of the shared
+				// output buffer — chunks are disjoint, so no extra copy and
+				// no per-chunk allocation.
 				var lastErr error
 				ok := false
 				for attempt := 0; attempt < len(replicas); attempt++ {
 					rep := replicas[(ck.idx+attempt)%len(replicas)]
-					data, err := c.getRangeOnce(ctx, rep.Host, rep.Path, ck.off, ck.len)
-					if err == nil && int64(len(data)) == ck.len {
-						copy(out[ck.off:ck.off+ck.len], data)
+					n, err := c.getRangeInto(ctx, rep.Host, rep.Path, ck.off, out[ck.off:ck.off+ck.len])
+					if err == nil && int64(n) == ck.len {
 						ok = true
 						break
 					}
 					if err == nil {
-						err = fmt.Errorf("davix: short chunk from %s: %d < %d", rep.Host, len(data), ck.len)
+						err = fmt.Errorf("davix: short chunk from %s: %d < %d", rep.Host, n, ck.len)
 					}
 					lastErr = err
 					if !replicaUnavailable(err) {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"io"
 	"strconv"
 	"time"
 
@@ -145,6 +146,61 @@ func (c *Client) getRangeOnce(ctx context.Context, host, path string, off, lengt
 		return body[off:end], nil
 	default:
 		return nil, statusErr(resp, "GET", path)
+	}
+}
+
+// getRangeInto fetches len(dst) bytes at offset off from exactly one
+// replica, reading the response body directly into dst — no intermediate
+// allocation or copy, which is what keeps the multi-stream download loop
+// allocation-free per chunk. Returns the byte count delivered; like a
+// clamping server it may be short when the object ends inside the request.
+func (c *Client) getRangeInto(ctx context.Context, host, path string, off int64, dst []byte) (int, error) {
+	rangeVal := "bytes=" + strconv.FormatInt(off, 10) + "-" + strconv.FormatInt(off+int64(len(dst))-1, 10)
+	resp, err := c.doFollow(ctx, host, path, func(h, p string) *wire.Request {
+		req := wire.NewRequest("GET", h, p)
+		req.Header.Set("Range", rangeVal)
+		return req
+	})
+	if err != nil {
+		return 0, err
+	}
+	switch resp.StatusCode {
+	case 206:
+		n, err := io.ReadFull(resp.Body, dst)
+		if err == io.ErrUnexpectedEOF {
+			// The server clamped the range at end of object.
+			err = nil
+		}
+		cerr := resp.Close()
+		if err == nil {
+			err = cerr
+		}
+		return n, err
+	case 200:
+		// Range-ignorant server: skip the prefix, read the slice.
+		if _, err := io.CopyN(io.Discard, resp.Body, off); err != nil {
+			resp.Close()
+			if err == io.EOF {
+				return 0, &StatusError{Code: 416, Status: "416 Requested Range Not Satisfiable", Method: "GET", Path: path}
+			}
+			return 0, err
+		}
+		n, err := io.ReadFull(resp.Body, dst)
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			err = nil
+		}
+		cerr := resp.Close()
+		if err == nil {
+			err = cerr
+		}
+		if err == nil && n == 0 && len(dst) > 0 {
+			// The whole request sits past end of object; match the 416 a
+			// range-honouring server would have sent.
+			return 0, &StatusError{Code: 416, Status: "416 Requested Range Not Satisfiable", Method: "GET", Path: path}
+		}
+		return n, err
+	default:
+		return 0, statusErr(resp, "GET", path)
 	}
 }
 

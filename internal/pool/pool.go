@@ -9,6 +9,11 @@
 // reuse maximizes TCP connection lifetime and amortizes both the handshake
 // and slow-start costs, which is exactly what makes HTTP competitive with
 // HPC protocols in the paper's LAN results.
+//
+// The pool is sharded by host: each host hashes (FNV-1a) onto one of a
+// fixed array of shards with its own mutex, idle stacks, and waiter lists,
+// so concurrent Get/Put traffic against different hosts never contends on
+// a shared lock. Activity counters are atomics, read lock-free by Stats.
 package pool
 
 import (
@@ -17,6 +22,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -76,28 +82,61 @@ type Stats struct {
 // ErrPoolClosed is returned by Get after Close.
 var ErrPoolClosed = errors.New("pool: closed")
 
+// numShards spreads hosts over independent locks. A power of two so the
+// hash maps with a mask; 16 shards keep contention negligible well past
+// the handful of storage hosts a federation client talks to.
+const numShards = 16
+
+// shard holds the pool state for the hosts hashing onto it.
+type shard struct {
+	mu      sync.Mutex
+	idle    map[string][]*Conn // host -> LIFO stack of idle conns
+	active  map[string]int     // host -> borrowed + idle count
+	waiters map[string][]chan struct{}
+}
+
 // Pool is a per-host dynamic connection pool. It is safe for concurrent use.
 type Pool struct {
 	dialer Dialer
 	opts   Options
 
-	mu      sync.Mutex
-	idle    map[string][]*Conn // host -> LIFO stack of idle conns
-	active  map[string]int     // host -> borrowed + idle count
-	waiters map[string][]chan struct{}
-	closed  bool
-	stats   Stats
+	shards [numShards]shard
+	closed atomic.Bool
+
+	dials    atomic.Int64
+	reuses   atomic.Int64
+	discards atomic.Int64
+
+	reaperStop  chan struct{}
+	reaperStart sync.Once
+	reaperHalt  sync.Once
 }
 
 // New creates a Pool dialing through d.
 func New(d Dialer, opts Options) *Pool {
-	return &Pool{
-		dialer:  d,
-		opts:    opts.withDefaults(),
-		idle:    make(map[string][]*Conn),
-		active:  make(map[string]int),
-		waiters: make(map[string][]chan struct{}),
+	p := &Pool{
+		dialer:     d,
+		opts:       opts.withDefaults(),
+		reaperStop: make(chan struct{}),
 	}
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.idle = make(map[string][]*Conn)
+		s.active = make(map[string]int)
+		s.waiters = make(map[string][]chan struct{})
+	}
+	return p
+}
+
+// shardFor hashes host (FNV-1a) onto its shard. The same host always maps
+// to the same shard, so per-host invariants (MaxPerHost, waiter FIFO) are
+// guarded by exactly one lock.
+func (p *Pool) shardFor(host string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(host); i++ {
+		h = (h ^ uint32(host[i])) * 16777619
+	}
+	return &p.shards[h&(numShards-1)]
 }
 
 // Conn is a pooled connection with its buffered reader and usage accounting.
@@ -130,57 +169,67 @@ func (c *Conn) Uses() int { return c.uses }
 // dialing otherwise. When MaxPerHost is reached, Get blocks until a
 // connection is released or ctx is done.
 func (p *Pool) Get(ctx context.Context, host string) (*Conn, error) {
+	s := p.shardFor(host)
 	for {
-		p.mu.Lock()
-		if p.closed {
-			p.mu.Unlock()
+		if p.closed.Load() {
+			return nil, ErrPoolClosed
+		}
+		s.mu.Lock()
+		if p.closed.Load() {
+			s.mu.Unlock()
 			return nil, ErrPoolClosed
 		}
 		// Fast path: pop the most recently used idle connection (LIFO keeps
 		// sessions warm and lets surplus ones expire).
-		if stack := p.idle[host]; len(stack) > 0 {
+		if stack := s.idle[host]; len(stack) > 0 {
 			c := stack[len(stack)-1]
-			p.idle[host] = stack[:len(stack)-1]
 			if time.Since(c.idleAt) > p.opts.IdleTTL {
-				p.active[host]--
-				p.stats.Discards++
-				p.mu.Unlock()
-				c.netConn.Close()
+				// LIFO order means the top is the freshest: when it has
+				// expired, everything under it has too. Retire the whole
+				// stack in one batch under a single lock acquisition
+				// instead of paying one lock round-trip per stale conn.
+				delete(s.idle, host)
+				s.active[host] -= len(stack)
+				p.discards.Add(int64(len(stack)))
+				s.notifyNLocked(host, len(stack))
+				s.mu.Unlock()
+				for _, sc := range stack {
+					sc.netConn.Close()
+				}
 				continue
 			}
+			s.idle[host] = stack[:len(stack)-1]
 			c.borrowed = true
 			c.uses++
-			p.stats.Reuses++
-			p.mu.Unlock()
+			p.reuses.Add(1)
+			s.mu.Unlock()
 			return c, nil
 		}
-		if p.opts.MaxPerHost > 0 && p.active[host] >= p.opts.MaxPerHost {
+		if p.opts.MaxPerHost > 0 && s.active[host] >= p.opts.MaxPerHost {
 			// At capacity: wait for a Put/Discard.
 			ch := make(chan struct{})
-			p.waiters[host] = append(p.waiters[host], ch)
-			p.mu.Unlock()
+			s.waiters[host] = append(s.waiters[host], ch)
+			s.mu.Unlock()
 			select {
 			case <-ch:
 				continue
 			case <-ctx.Done():
-				p.abandonWaiter(host, ch)
+				p.abandonWaiter(s, host, ch)
 				return nil, ctx.Err()
 			}
 		}
-		p.active[host]++
-		p.mu.Unlock()
+		s.active[host]++
+		s.mu.Unlock()
 
 		nc, err := p.dialer.DialContext(ctx, host)
 		if err != nil {
-			p.mu.Lock()
-			p.active[host]--
-			p.notifyLocked(host)
-			p.mu.Unlock()
+			s.mu.Lock()
+			s.active[host]--
+			s.notifyLocked(host)
+			s.mu.Unlock()
 			return nil, err
 		}
-		p.mu.Lock()
-		p.stats.Dials++
-		p.mu.Unlock()
+		p.dials.Add(1)
 		return &Conn{
 			netConn:  nc,
 			br:       bufio.NewReaderSize(nc, 16*1024),
@@ -199,22 +248,27 @@ func (p *Pool) Put(c *Conn) {
 	if c == nil || !c.borrowed {
 		return
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	s := p.shardFor(c.host)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	c.borrowed = false
-	drop := p.closed ||
+	drop := p.closed.Load() ||
 		(p.opts.MaxUses > 0 && c.uses >= p.opts.MaxUses) ||
-		len(p.idle[c.host]) >= p.opts.MaxIdlePerHost
+		len(s.idle[c.host]) >= p.opts.MaxIdlePerHost
 	if drop {
-		p.active[c.host]--
-		p.stats.Discards++
-		p.notifyLocked(c.host)
+		s.active[c.host]--
+		p.discards.Add(1)
+		s.notifyLocked(c.host)
 		go c.netConn.Close()
 		return
 	}
 	c.idleAt = time.Now()
-	p.idle[c.host] = append(p.idle[c.host], c)
-	p.notifyLocked(c.host)
+	s.idle[c.host] = append(s.idle[c.host], c)
+	s.notifyLocked(c.host)
+	// The reaper only matters once connections actually sit idle; starting
+	// it lazily keeps never-Closed pools that never park a connection free
+	// of background goroutines.
+	p.reaperStart.Do(func() { go p.reapLoop() })
 }
 
 // Discard drops c without recycling (connection poisoned: protocol error,
@@ -223,69 +277,134 @@ func (p *Pool) Discard(c *Conn) {
 	if c == nil || !c.borrowed {
 		return
 	}
-	p.mu.Lock()
+	s := p.shardFor(c.host)
+	s.mu.Lock()
 	c.borrowed = false
-	p.active[c.host]--
-	p.stats.Discards++
-	p.notifyLocked(c.host)
-	p.mu.Unlock()
+	s.active[c.host]--
+	p.discards.Add(1)
+	s.notifyLocked(c.host)
+	s.mu.Unlock()
 	c.netConn.Close()
 }
 
-// notifyLocked wakes one waiter for host. Caller holds p.mu.
-func (p *Pool) notifyLocked(host string) {
-	if ws := p.waiters[host]; len(ws) > 0 {
+// notifyLocked wakes one waiter for host. Caller holds s.mu.
+func (s *shard) notifyLocked(host string) {
+	if ws := s.waiters[host]; len(ws) > 0 {
 		close(ws[0])
-		p.waiters[host] = ws[1:]
+		s.waiters[host] = ws[1:]
 	}
 }
 
-func (p *Pool) abandonWaiter(host string, ch chan struct{}) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	ws := p.waiters[host]
+// notifyNLocked wakes up to n waiters for host. Caller holds s.mu.
+func (s *shard) notifyNLocked(host string, n int) {
+	for i := 0; i < n; i++ {
+		s.notifyLocked(host)
+	}
+}
+
+func (p *Pool) abandonWaiter(s *shard, host string, ch chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ws := s.waiters[host]
 	for i, w := range ws {
 		if w == ch {
-			p.waiters[host] = append(ws[:i], ws[i+1:]...)
+			s.waiters[host] = append(ws[:i], ws[i+1:]...)
 			return
 		}
 	}
 	// Already notified: pass the token on so it is not lost.
-	p.notifyLocked(host)
+	s.notifyLocked(host)
+}
+
+// reapLoop periodically sweeps every shard for idle connections past the
+// TTL, so long-idle hosts release their sockets without waiting for the
+// next Get to stumble over them.
+func (p *Pool) reapLoop() {
+	period := p.opts.IdleTTL / 2
+	if period < time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.reaperStop:
+			return
+		case <-t.C:
+			p.reapIdle(time.Now())
+		}
+	}
+}
+
+// reapIdle batch-discards idle connections older than the TTL as of now.
+// Stacks are in Put order, oldest at the bottom, so each sweep removes a
+// prefix under one lock acquisition per shard.
+func (p *Pool) reapIdle(now time.Time) {
+	var expired []*Conn
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for host, stack := range s.idle {
+			keep := 0
+			for keep < len(stack) && now.Sub(stack[keep].idleAt) > p.opts.IdleTTL {
+				keep++
+			}
+			if keep == 0 {
+				continue
+			}
+			expired = append(expired, stack[:keep]...)
+			rest := stack[keep:]
+			if len(rest) == 0 {
+				delete(s.idle, host)
+			} else {
+				s.idle[host] = append(stack[:0], rest...)
+			}
+			s.active[host] -= keep
+			p.discards.Add(int64(keep))
+			s.notifyNLocked(host, keep)
+		}
+		s.mu.Unlock()
+	}
+	for _, c := range expired {
+		c.netConn.Close()
+	}
 }
 
 // Stats returns a snapshot of the pool counters.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Dials:    p.dials.Load(),
+		Reuses:   p.reuses.Load(),
+		Discards: p.discards.Load(),
+	}
 }
 
 // IdleCount reports idle connections currently pooled for host.
 func (p *Pool) IdleCount(host string) int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.idle[host])
+	s := p.shardFor(host)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.idle[host])
 }
 
 // ActiveCount reports total (borrowed + idle) connections for host.
 func (p *Pool) ActiveCount(host string) int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.active[host]
+	s := p.shardFor(host)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active[host]
 }
 
 // CloseIdle closes all idle connections, e.g. after a host is known dead.
 func (p *Pool) CloseIdle(host string) {
-	p.mu.Lock()
-	stack := p.idle[host]
-	delete(p.idle, host)
-	p.active[host] -= len(stack)
-	p.stats.Discards += int64(len(stack))
-	for range stack {
-		p.notifyLocked(host)
-	}
-	p.mu.Unlock()
+	s := p.shardFor(host)
+	s.mu.Lock()
+	stack := s.idle[host]
+	delete(s.idle, host)
+	s.active[host] -= len(stack)
+	p.discards.Add(int64(len(stack)))
+	s.notifyNLocked(host, len(stack))
+	s.mu.Unlock()
 	for _, c := range stack {
 		c.netConn.Close()
 	}
@@ -294,21 +413,27 @@ func (p *Pool) CloseIdle(host string) {
 // Close shuts the pool down, closing all idle connections. Borrowed
 // connections are closed as they are returned.
 func (p *Pool) Close() {
-	p.mu.Lock()
-	p.closed = true
+	if p.closed.Swap(true) {
+		return
+	}
+	p.reaperHalt.Do(func() { close(p.reaperStop) })
 	var all []*Conn
-	for host, stack := range p.idle {
-		all = append(all, stack...)
-		p.active[host] -= len(stack)
-	}
-	p.idle = make(map[string][]*Conn)
-	for host, ws := range p.waiters {
-		for _, ch := range ws {
-			close(ch)
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for host, stack := range s.idle {
+			all = append(all, stack...)
+			s.active[host] -= len(stack)
 		}
-		delete(p.waiters, host)
+		s.idle = make(map[string][]*Conn)
+		for host, ws := range s.waiters {
+			for _, ch := range ws {
+				close(ch)
+			}
+			delete(s.waiters, host)
+		}
+		s.mu.Unlock()
 	}
-	p.mu.Unlock()
 	for _, c := range all {
 		c.netConn.Close()
 	}

@@ -156,6 +156,123 @@ func TestIdleTTLExpiry(t *testing.T) {
 	}
 }
 
+// TestIdleTTLBatchExpiry: a whole stack of stale idle conns is retired in
+// one Get, each counted as a discard.
+func TestIdleTTLBatchExpiry(t *testing.T) {
+	n, addr := newFabric(t)
+	p := New(n, Options{IdleTTL: 10 * time.Millisecond})
+	defer p.Close()
+
+	ctx := context.Background()
+	conns := make([]*Conn, 3)
+	for i := range conns {
+		c, err := p.Get(ctx, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+	}
+	for _, c := range conns {
+		p.Put(c)
+	}
+	if got := p.IdleCount(addr); got != 3 {
+		t.Fatalf("idle = %d, want 3", got)
+	}
+	time.Sleep(25 * time.Millisecond)
+	c, err := p.Get(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, old := range conns {
+		if c == old {
+			t.Fatal("stale connection recycled")
+		}
+	}
+	if got := p.Stats().Discards; got != 3 {
+		t.Fatalf("discards = %d, want 3", got)
+	}
+	if got := p.IdleCount(addr); got != 0 {
+		t.Fatalf("idle after expiry = %d", got)
+	}
+}
+
+// TestReapIdleSweep: the background sweep drops only the expired prefix of
+// each idle stack and keeps per-host accounting intact.
+func TestReapIdleSweep(t *testing.T) {
+	n, addr := newFabric(t)
+	p := New(n, Options{IdleTTL: 50 * time.Millisecond})
+	defer p.Close()
+
+	ctx := context.Background()
+	c1, _ := p.Get(ctx, addr)
+	c2, _ := p.Get(ctx, addr)
+	p.Put(c1)
+	time.Sleep(30 * time.Millisecond)
+	p.Put(c2) // c1 is older than c2
+
+	p.reapIdle(time.Now().Add(30 * time.Millisecond)) // c1 past TTL, c2 not
+	if got := p.IdleCount(addr); got != 1 {
+		t.Fatalf("idle = %d, want 1", got)
+	}
+	if got := p.ActiveCount(addr); got != 1 {
+		t.Fatalf("active = %d, want 1", got)
+	}
+	c3, err := p.Get(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 != c2 {
+		t.Fatal("survivor should be the fresher connection")
+	}
+}
+
+// TestShardedHostsConcurrent hammers many hosts at once; per-host counters
+// must stay exact despite the sharded locking.
+func TestShardedHostsConcurrent(t *testing.T) {
+	n := netsim.New(netsim.Ideal())
+	hosts := make([]string, 8)
+	for i := range hosts {
+		hosts[i] = string(rune('a'+i)) + ":80"
+		l, err := n.Listen(hosts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go func(l net.Listener) {
+			for {
+				if _, err := l.Accept(); err != nil {
+					return
+				}
+			}
+		}(l)
+	}
+	p := New(n, Options{MaxPerHost: 2})
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				host := hosts[(w+i)%len(hosts)]
+				c, err := p.Get(context.Background(), host)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				p.Put(c)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, h := range hosts {
+		if a := p.ActiveCount(h); a < 0 || a > 2 {
+			t.Fatalf("host %s active = %d", h, a)
+		}
+	}
+}
+
 func TestMaxUsesRetiresConnection(t *testing.T) {
 	n, addr := newFabric(t)
 	p := New(n, Options{MaxUses: 2})

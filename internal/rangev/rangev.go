@@ -16,9 +16,12 @@ package rangev
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
+
+	"godavix/internal/bufpool"
 )
 
 // Range describes one requested fragment of a remote resource.
@@ -158,6 +161,73 @@ func ParseContentRange(v string) (off, length, total int64, err error) {
 		}
 	}
 	return off, end - off + 1, total, nil
+}
+
+// StreamScatter consumes body — a stream whose first byte sits at absolute
+// offset bodyOff — and scatters the member ranges of the given frames into
+// dsts as the bytes flow past, using a pooled scratch block instead of
+// buffering the whole body. frames must be sorted and non-overlapping (the
+// Coalesce output order) and every frame must start at or after bodyOff.
+//
+// Reading stops at the end of the last frame; the caller decides what to do
+// with the remainder of the stream (drain it for connection recycling, or
+// drop the connection when the tail is large). A body that ends before the
+// last frame byte yields an error wrapping io.ErrUnexpectedEOF.
+func StreamScatter(body io.Reader, bodyOff int64, frames []Frame, ranges []Range, dsts [][]byte) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	maxEnd := frames[len(frames)-1].End()
+	scratch := bufpool.Get(64 << 10)
+	defer bufpool.Put(scratch)
+
+	pos := bodyOff
+	fi := 0
+	for pos < maxEnd {
+		n, err := body.Read(scratch)
+		if n > 0 {
+			chunkEnd := pos + int64(n)
+			for fi < len(frames) && frames[fi].End() <= pos {
+				fi++
+			}
+			for j := fi; j < len(frames) && frames[j].Off < chunkEnd; j++ {
+				scatterChunk(frames[j], pos, scratch[:n], ranges, dsts)
+			}
+			pos = chunkEnd
+		}
+		if err != nil {
+			if err == io.EOF {
+				if pos < maxEnd {
+					return fmt.Errorf("rangev: body ends at %d before frame end %d: %w",
+						pos, maxEnd, io.ErrUnexpectedEOF)
+				}
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// scatterChunk copies the overlap between one streamed chunk (spanning
+// [pos, pos+len(chunk)) in absolute offsets) and each member range of f
+// into the destination buffers — the shared inner loop of every streaming
+// scatter path.
+func scatterChunk(f Frame, pos int64, chunk []byte, ranges []Range, dsts [][]byte) {
+	chunkEnd := pos + int64(len(chunk))
+	for _, m := range f.Members {
+		r := ranges[m]
+		lo, hi := r.Off, r.End()
+		if lo < pos {
+			lo = pos
+		}
+		if hi > chunkEnd {
+			hi = chunkEnd
+		}
+		if lo < hi {
+			copy(dsts[m][lo-r.Off:hi-r.Off], chunk[lo-pos:hi-pos])
+		}
+	}
 }
 
 // Scatter copies the bytes of a fetched frame (frame data spanning

@@ -126,6 +126,19 @@ func (r *Response) Consumed() bool {
 	return false
 }
 
+// ReadAll reads the remaining body to EOF. Content-Length-framed bodies
+// are read into a single exactly-sized allocation instead of io.ReadAll's
+// grow-and-copy loop — on the vector-read and cache-fill hot paths this
+// halves the per-response allocation work.
+func (r *Response) ReadAll() ([]byte, error) {
+	if fb, ok := r.Body.(*fixedBody); ok {
+		b := make([]byte, fb.remaining)
+		_, err := io.ReadFull(r.Body, b)
+		return b, err
+	}
+	return io.ReadAll(r.Body)
+}
+
 // Discard drains and closes the body so the connection can be recycled.
 func (r *Response) Discard() error {
 	_, err := io.Copy(io.Discard, r.Body)
