@@ -7,12 +7,19 @@
 //	davix-bench -experiment fig4          # just Figure 4
 //	davix-bench -experiment fig4 -fractions 0.1,0.5,1.0
 //	davix-bench -repeats 10 -events 12000
+//	davix-bench -experiment meta -json BENCH_meta.json
 //
 // Experiments: fig1, fig2, fig3, fig4, fig4async, gap, failover,
-// multistream, window, poolsize, prefetch, federation, cache, vecpar, all.
+// multistream, window, poolsize, prefetch, federation, cache, vecpar,
+// meta, all.
+//
+// With -json, every table produced by the run is also written to the given
+// file as a JSON array — CI uses this to track the performance trajectory
+// across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +33,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run")
+	jsonPath := flag.String("json", "", "also write the run's tables to this file as JSON")
 	repeats := flag.Int("repeats", 5, "measurement repeats per configuration")
 	events := flag.Int("events", 12000, "events in the synthetic dataset")
 	branches := flag.Int("branches", 12, "branches in the synthetic dataset")
@@ -74,9 +82,11 @@ func main() {
 		{"federation", bench.FederationCompare},
 		{"cache", bench.CacheBench},
 		{"vecpar", bench.VecPar},
+		{"meta", bench.Meta},
 	}
 
 	ran := 0
+	var tables []*bench.Table
 	for _, e := range all {
 		if *experiment != "all" && *experiment != e.name {
 			continue
@@ -88,8 +98,19 @@ func main() {
 			log.Fatalf("davix-bench: %s: %v", e.name, err)
 		}
 		table.Render(os.Stdout)
+		tables = append(tables, table)
 	}
 	if ran == 0 {
 		log.Fatalf("davix-bench: unknown experiment %q", *experiment)
+	}
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(tables, "", " ")
+		if err != nil {
+			log.Fatalf("davix-bench: marshal tables: %v", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			log.Fatalf("davix-bench: write %s: %v", *jsonPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
 }

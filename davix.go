@@ -15,7 +15,11 @@
 //   - an optional client-side block cache with single-flight miss
 //     coalescing, sequential read-ahead prefetch, and a TTL'd stat cache
 //     with negative entries, hiding round trips on high-RTT links
-//     (Options.CacheSize, BlockSize, ReadAhead, StatTTL; see CacheStats).
+//     (Options.CacheSize, BlockSize, ReadAhead, StatTTL; see CacheStats);
+//   - a parallel namespace engine: Walk fans PROPFINDs out across pooled
+//     connections while preserving serial emission order, multistatus
+//     bodies are decoded streaming off the wire, and List/Walk results
+//     prime the stat cache (Options.WalkParallelism).
 //
 // Quickstart:
 //
@@ -103,6 +107,10 @@ type Options struct {
 	// vectored read run concurrently on separate pooled connections
 	// (0 = one per batch capped by MaxPerHost; 1 = serial).
 	VectorParallelism int
+	// WalkParallelism bounds how many PROPFINDs a Walk keeps in flight
+	// concurrently (0 = 8 capped by MaxPerHost; 1 = serial recursion).
+	// Entry delivery order is identical at every setting.
+	WalkParallelism int
 
 	// Strategy selects the replica policy (default StrategyFailover).
 	Strategy Strategy
@@ -188,6 +196,7 @@ func New(opts Options) (*Client, error) {
 		CoalesceGap:         opts.CoalesceGap,
 		MaxRangesPerRequest: opts.MaxRangesPerRequest,
 		VectorParallelism:   opts.VectorParallelism,
+		WalkParallelism:     opts.WalkParallelism,
 		Strategy:            opts.Strategy,
 		MetalinkHost:        opts.MetalinkHost,
 		MaxStreams:          opts.MaxStreams,
@@ -321,7 +330,9 @@ func (c *Client) DownloadMultiStream(ctx context.Context, url string) ([]byte, e
 var SkipDir = core.SkipDir
 
 // Walk traverses the namespace under url depth-first, calling fn for every
-// entry (davix-ls -r behaviour). fn may return SkipDir to prune.
+// entry (davix-ls -r behaviour). fn may return SkipDir to prune. Directory
+// listings are fetched concurrently (see Options.WalkParallelism), but fn
+// is always called sequentially, in the exact serial-walk order.
 func (c *Client) Walk(ctx context.Context, url string, fn func(Info) error) error {
 	host, path, err := splitURL(url)
 	if err != nil {

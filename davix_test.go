@@ -324,3 +324,39 @@ func TestPublicCacheOptionsAndStats(t *testing.T) {
 		t.Fatalf("ReadAt after Close = %v, want ErrFileClosed", err)
 	}
 }
+
+// TestPublicWalkParallelism: the WalkParallelism option must not change
+// the emission order seen through the public API.
+func TestPublicWalkParallelism(t *testing.T) {
+	n, st, _ := startFabric(t, Options{Strategy: StrategyNone})
+	for _, p := range []string{"/ns/b/x", "/ns/b/y", "/ns/a/z", "/ns/top"} {
+		st.Put(p, []byte("d"))
+	}
+
+	walk := func(par int) []string {
+		c, err := New(Options{Dialer: n, Strategy: StrategyNone, WalkParallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		var paths []string
+		err = c.Walk(context.Background(), "http://dpm1:80/ns", func(inf Info) error {
+			paths = append(paths, inf.Path)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return paths
+	}
+	serial := walk(1)
+	parallel := walk(6)
+	if len(serial) != 7 {
+		t.Fatalf("serial walk = %v", serial)
+	}
+	for i := range serial {
+		if parallel[i] != serial[i] {
+			t.Fatalf("order diverged at %d: %q vs %q", i, parallel[i], serial[i])
+		}
+	}
+}

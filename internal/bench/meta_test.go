@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"testing"
+
+	"godavix/internal/netsim"
+)
+
+// TestMetaWalkSpeedupWAN pins the ISSUE-3 acceptance bar: the concurrent
+// namespace walk must cut deep-tree wall-clock by at least 4x on the WAN
+// profile versus the serial baseline, with identical emission order.
+func TestMetaWalkSpeedupWAN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	serial, serialOrder, err := runMetaWalk(netsim.WAN(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, parallelOrder, err := runMetaWalk(netsim.WAN(), metaConns, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("WAN serial %.3fs parallel %.3fs (%.2fx)",
+		serial.Mean(), parallel.Mean(), serial.Mean()/parallel.Mean())
+	if parallelOrder != serialOrder {
+		t.Fatal("parallel walk order diverged from serial")
+	}
+	if parallel.Min()*4 > serial.Min() {
+		t.Fatalf("parallel (%.3fs) not 4x faster than serial (%.3fs)",
+			parallel.Min(), serial.Min())
+	}
+}
+
+// TestMetaDecodeAllocsDrop pins the other half of the bar: streaming
+// multistatus decoding must allocate at most half of what the seed's
+// materialize-then-Unmarshal path pays for a 10k-entry collection.
+func TestMetaDecodeAllocsDrop(t *testing.T) {
+	streaming, err := metaDecodeAllocs(true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := metaDecodeAllocs(false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("allocs/op: streaming=%.0f seed=%.0f (%.0f%% drop)",
+		streaming, seed, 100*(1-streaming/seed))
+	if streaming > seed/2 {
+		t.Fatalf("streaming %.0f allocs/op not ≤ half of seed %.0f", streaming, seed)
+	}
+}
+
+// TestMetaOrderIdenticalLAN is the cheap always-on determinism check on the
+// bench tree (the timing test above is skipped under -short).
+func TestMetaOrderIdenticalLAN(t *testing.T) {
+	_, serialOrder, err := runMetaWalk(netsim.LAN(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, parallelOrder, err := runMetaWalk(netsim.LAN(), metaConns, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialOrder == "" || serialOrder != parallelOrder {
+		t.Fatal("parallel walk order diverged from serial")
+	}
+}
+
+// TestMetaTableRuns exercises the experiment end to end.
+func TestMetaTableRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	table, err := Meta(Options{Repeats: 1, Spec: tinySpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+}
+
+// BenchmarkMetaWalkWAN lets `go test -bench` compare serial and parallel
+// namespace walks directly.
+func BenchmarkMetaWalkWAN(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		par  int
+	}{{"serial", 1}, {"parallel", metaConns}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := runMetaWalk(netsim.WAN(), mode.par, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMetaDecodeAllocs reports the streaming-vs-seed multistatus
+// decoder ablation.
+func BenchmarkMetaDecodeAllocs(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		streaming bool
+	}{{"streaming", true}, {"seed", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := metaDecodeAllocs(mode.streaming, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -69,6 +69,22 @@ func (s *StatCache[V]) PutError(key string, err error) {
 	s.put(key, statEntry[V]{err: err})
 }
 
+// PutIfAbsent caches v only when key has no live entry, so opportunistic
+// fills (e.g. priming from directory listings, which carry fewer
+// properties than a direct lookup) never downgrade a richer cached value
+// before its TTL expires.
+func (s *StatCache[V]) PutIfAbsent(key string, v V) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok && s.now().Before(e.expires) {
+		return
+	}
+	if _, ok := s.entries[key]; !ok && len(s.entries) >= maxStatEntries {
+		s.shedLocked()
+	}
+	s.entries[key] = statEntry[V]{val: v, expires: s.now().Add(s.ttl)}
+}
+
 func (s *StatCache[V]) put(key string, e statEntry[V]) {
 	e.expires = s.now().Add(s.ttl)
 	s.mu.Lock()

@@ -85,3 +85,26 @@ func TestStatCacheInvalidate(t *testing.T) {
 		t.Fatal("/b lost by unrelated Invalidate")
 	}
 }
+
+func TestStatCachePutIfAbsent(t *testing.T) {
+	c := NewStatCache[string](time.Minute)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	c.Put("k", "rich")
+	c.PutIfAbsent("k", "primed")
+	if v, _, ok := c.Get("k"); !ok || v != "rich" {
+		t.Fatalf("live entry overwritten: %q ok=%v", v, ok)
+	}
+	// Absent key: primed value lands.
+	c.PutIfAbsent("k2", "primed")
+	if v, _, ok := c.Get("k2"); !ok || v != "primed" {
+		t.Fatalf("absent key not primed: %q ok=%v", v, ok)
+	}
+	// Expired entry: priming replaces it.
+	now = now.Add(2 * time.Minute)
+	c.PutIfAbsent("k", "primed")
+	if v, _, ok := c.Get("k"); !ok || v != "primed" {
+		t.Fatalf("expired entry not refreshed: %q ok=%v", v, ok)
+	}
+}

@@ -71,6 +71,19 @@ type Options struct {
 	// scatter saves; it is not exposed in the public API.
 	LegacyVecScatter bool
 
+	// WalkParallelism bounds how many PROPFINDs a Walk keeps in flight
+	// concurrently across pooled connections. 0 (the default) uses
+	// defaultWalkParallelism capped by Pool.MaxPerHost; 1 restores the
+	// serial depth-first recursion. Entry delivery order is identical
+	// at every setting.
+	WalkParallelism int
+
+	// LegacyPropfindDecode switches PROPFIND responses back to the
+	// materialize-then-Unmarshal multistatus path. Only the meta
+	// benchmark sets it, to quantify what the streaming decoder saves;
+	// it is not exposed in the public API.
+	LegacyPropfindDecode bool
+
 	// Strategy selects the Metalink policy (default StrategyFailover).
 	Strategy Strategy
 

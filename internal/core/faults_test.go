@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"godavix/internal/httpserv"
+	"godavix/internal/metalink"
 )
 
 // TestAbortedRequestFailsCleanly: the server crashes before answering; the
@@ -110,3 +111,34 @@ func TestFileReadRetriesThroughCut(t *testing.T) {
 type readAtAdapter struct{ f *File }
 
 func (a readAtAdapter) ReadAt(p []byte, off int64) (int, error) { return a.f.ReadAt(p, off) }
+
+// TestMultiStreamCancelsSiblingsOnError: when one chunk fails for a reason
+// no replica can fix, the sibling streams must be cancelled instead of
+// draining the whole work queue — the server must not see anywhere near one
+// request per chunk.
+func TestMultiStreamCancelsSiblingsOnError(t *testing.T) {
+	e := newEnv(t, Options{MetalinkHost: "fed:80", ChunkSize: 256, MaxStreams: 2})
+	blob := make([]byte, 64<<8) // 64 chunks
+	e.startServer(t, dpm1, httpserv.Options{})
+	e.stores[dpm1].Put("/f", blob)
+	ml := &metalink.Metalink{
+		Name: "f", Size: int64(len(blob)),
+		URLs: []metalink.URL{{Loc: "http://dpm1:80/f", Priority: 1}},
+	}
+	e.startServer(t, "fed:80", httpserv.Options{
+		Metalinks: func(string) *metalink.Metalink { return ml },
+	})
+
+	// Exactly one chunk GET hits a semantic (non-retryable) failure; every
+	// other chunk would succeed, so without cancellation the sibling stream
+	// happily drains the remaining ~63 chunks before the error surfaces.
+	e.srvs[dpm1].SetFault("/f", httpserv.Fault{Status: 403, Remaining: 1})
+
+	_, err := e.client.DownloadMultiStream(context.Background(), dpm1, "/f")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := e.srvs[dpm1].RequestsByMethod("GET"); got > 8 {
+		t.Fatalf("server saw %d chunk GETs after first failure; siblings not cancelled", got)
+	}
+}

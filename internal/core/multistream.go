@@ -80,6 +80,12 @@ func (c *Client) downloadFromMetalink(ctx context.Context, ml *metalink.Metalink
 	if streams > nChunks {
 		streams = nChunks
 	}
+	// The first chunk failure cancels the sibling streams through dctx:
+	// in-flight chunk requests abort and the remaining work queue is
+	// abandoned instead of being drained attempt-by-attempt before the
+	// error can be returned.
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var (
 		wg      sync.WaitGroup
 		errMu   sync.Mutex
@@ -89,6 +95,7 @@ func (c *Client) downloadFromMetalink(ctx context.Context, ml *metalink.Metalink
 		errMu.Lock()
 		if firstEr == nil {
 			firstEr = err
+			cancel()
 		}
 		errMu.Unlock()
 	}
@@ -97,7 +104,7 @@ func (c *Client) downloadFromMetalink(ctx context.Context, ml *metalink.Metalink
 		go func(streamID int) {
 			defer wg.Done()
 			for ck := range work {
-				if ctx.Err() != nil {
+				if dctx.Err() != nil {
 					setErr(ctx.Err())
 					return
 				}
@@ -109,7 +116,7 @@ func (c *Client) downloadFromMetalink(ctx context.Context, ml *metalink.Metalink
 				ok := false
 				for attempt := 0; attempt < len(replicas); attempt++ {
 					rep := replicas[(ck.idx+attempt)%len(replicas)]
-					n, err := c.getRangeInto(ctx, rep.Host, rep.Path, ck.off, out[ck.off:ck.off+ck.len])
+					n, err := c.getRangeInto(dctx, rep.Host, rep.Path, ck.off, out[ck.off:ck.off+ck.len])
 					if err == nil && int64(n) == ck.len {
 						ok = true
 						break
@@ -118,7 +125,7 @@ func (c *Client) downloadFromMetalink(ctx context.Context, ml *metalink.Metalink
 						err = fmt.Errorf("davix: short chunk from %s: %d < %d", rep.Host, n, ck.len)
 					}
 					lastErr = err
-					if !replicaUnavailable(err) {
+					if dctx.Err() != nil || !replicaUnavailable(err) {
 						break
 					}
 				}

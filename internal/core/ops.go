@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"strconv"
 	"time"
@@ -341,7 +342,12 @@ func (c *Client) statPropfind(ctx context.Context, host, path string) (Info, err
 }
 
 // List returns the entries of the collection at host/path (PROPFIND depth
-// 1, without the collection itself).
+// 1, without the collection itself). With Options.StatTTL set, every entry
+// primes the stat cache — a Walk- or List-then-Stat storm is then absorbed
+// without re-hitting the server. Primed entries carry the PROPFIND
+// properties (no checksum), the same as a Stat that fell back to PROPFIND;
+// a live entry from a direct Stat is never overwritten, so a HEAD-won
+// checksum survives its TTL.
 func (c *Client) List(ctx context.Context, host, path string) ([]Info, error) {
 	entries, err := c.propfind(ctx, host, path, "1")
 	if err != nil {
@@ -349,10 +355,14 @@ func (c *Client) List(ctx context.Context, host, path string) ([]Info, error) {
 	}
 	infos := make([]Info, 0, len(entries))
 	for i, e := range entries {
-		if i == 0 && e.Dir {
-			continue // the collection itself
+		inf := Info{Path: e.Href, Size: e.Size, Dir: e.Dir, ModTime: e.ModTime}
+		if c.statc != nil {
+			c.statc.PutIfAbsent(cacheKey(host, inf.Path), inf)
 		}
-		infos = append(infos, Info{Path: e.Href, Size: e.Size, Dir: e.Dir, ModTime: e.ModTime})
+		if i == 0 && e.Dir {
+			continue // the collection itself (primed above, not listed)
+		}
+		infos = append(infos, inf)
 	}
 	return infos, nil
 }
@@ -367,9 +377,22 @@ func (c *Client) propfind(ctx context.Context, host, path, depth string) ([]webd
 	if resp.StatusCode != 207 {
 		return nil, statusErr(resp, "PROPFIND", path)
 	}
-	body, err := resp.ReadAllAndClose()
-	if err != nil {
-		return nil, err
+	if c.opts.LegacyPropfindDecode {
+		body, err := resp.ReadAllAndClose()
+		if err != nil {
+			return nil, err
+		}
+		return webdav.DecodeMultistatus(body)
 	}
-	return webdav.DecodeMultistatus(body)
+	// Stream the multistatus document straight off the wire body: large
+	// directory listings are decoded without materializing the XML.
+	entries, err := webdav.DecodeMultistatusStream(resp.Body)
+	cerr := resp.Close()
+	if err != nil {
+		return nil, fmt.Errorf("davix: PROPFIND %s: %w", path, err)
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	return entries, nil
 }

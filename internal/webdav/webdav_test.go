@@ -1,6 +1,8 @@
 package webdav
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 	"time"
 )
@@ -34,6 +36,189 @@ func TestMultistatusRoundTrip(t *testing.T) {
 	}
 	if got[2].Size != 0 || got[2].Dir {
 		t.Fatalf("empty entry = %+v", got[2])
+	}
+}
+
+// TestStreamDecodeMatchesLegacy asserts the streaming decoder produces
+// byte-identical entries to the materialize-then-Unmarshal path.
+func TestStreamDecodeMatchesLegacy(t *testing.T) {
+	now := time.Now().UTC().Truncate(time.Second)
+	in := []Entry{
+		{Href: "/store", Dir: true, ModTime: now},
+		{Href: "/store/f.rnt", Size: 700 << 20, ModTime: now},
+		{Href: "/store/empty", Size: 0},
+		{Href: "/store/sub", Dir: true},
+	}
+	body, err := EncodeMultistatus(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := DecodeMultistatus(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := DecodeMultistatusStream(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(legacy) {
+		t.Fatalf("streamed %d entries, legacy %d", len(streamed), len(legacy))
+	}
+	for i := range legacy {
+		if streamed[i] != legacy[i] {
+			t.Fatalf("entry %d: streamed %+v != legacy %+v", i, streamed[i], legacy[i])
+		}
+	}
+}
+
+// TestStreamDecodePrefixedNamespaces accepts the "<D:...>" prefixed style
+// real WebDAV servers emit.
+func TestStreamDecodePrefixedNamespaces(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+<D:multistatus xmlns:D="DAV:">
+ <D:response>
+  <D:href>/data/run1</D:href>
+  <D:propstat><D:prop><D:resourcetype><D:collection/></D:resourcetype></D:prop>
+   <D:status>HTTP/1.1 200 OK</D:status></D:propstat>
+ </D:response>
+ <D:response>
+  <D:href>/data/run1/a.rnt</D:href>
+  <D:propstat><D:prop><D:getcontentlength>42</D:getcontentlength></D:prop>
+   <D:status>HTTP/1.1 200 OK</D:status></D:propstat>
+ </D:response>
+</D:multistatus>`
+	got, err := DecodeMultistatusStream(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !got[0].Dir || got[0].Href != "/data/run1" ||
+		got[1].Dir || got[1].Size != 42 || got[1].Href != "/data/run1/a.rnt" {
+		t.Fatalf("entries = %+v", got)
+	}
+}
+
+// TestStreamDecodeEscapedHrefs: character references in hrefs must decode
+// exactly as the legacy path does (the encoder escapes &<>'" and emits
+// numeric references).
+func TestStreamDecodeEscapedHrefs(t *testing.T) {
+	in := []Entry{
+		{Href: `/store/a&b <c> "d" 'e'`, Size: 9},
+		{Href: "/store/plain", Size: 1},
+	}
+	body, err := EncodeMultistatus(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := DecodeMultistatus(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := DecodeMultistatusStream(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != 2 || streamed[0] != legacy[0] || streamed[1] != legacy[1] {
+		t.Fatalf("streamed %+v, legacy %+v", streamed, legacy)
+	}
+	if streamed[0].Href != in[0].Href {
+		t.Fatalf("href = %q, want %q", streamed[0].Href, in[0].Href)
+	}
+}
+
+// TestStreamDecodeCommentsAndCDATA: comments are skipped, CDATA content is
+// captured verbatim.
+func TestStreamDecodeCommentsAndCDATA(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+<multistatus xmlns="DAV:"><!-- a comment with <tags> & ampersands -->
+ <response>
+  <href><![CDATA[/data/raw&stuff]]></href>
+  <propstat><prop><getcontentlength>7</getcontentlength></prop></propstat>
+ </response>
+</multistatus>`
+	got, err := DecodeMultistatusStream(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Href != "/data/raw&stuff" || got[0].Size != 7 {
+		t.Fatalf("entries = %+v", got)
+	}
+}
+
+// TestStreamDecodeCDATATrailingBrackets: CDATA content ending in "]" or
+// "]]" must not confuse the "]]>" terminator match, and comment/PI
+// terminators must survive runs of their first byte.
+func TestStreamDecodeCDATATrailingBrackets(t *testing.T) {
+	for _, tc := range []struct{ cdata, want string }{
+		{"/data/x[1]", "/data/x[1]"},
+		{"/data/y]]", "/data/y]]"},
+		{"]", "]"},
+		{"a]b]>c", "a]b]>c"},
+	} {
+		doc := `<multistatus xmlns="DAV:"><!-- dashes ----><?pi ??>
+ <response><href><![CDATA[` + tc.cdata + `]]></href></response></multistatus>`
+		got, err := DecodeMultistatusStream(strings.NewReader(doc))
+		if err != nil {
+			t.Fatalf("cdata %q: %v", tc.cdata, err)
+		}
+		if len(got) != 1 || got[0].Href != tc.want {
+			t.Fatalf("cdata %q: entries = %+v", tc.cdata, got)
+		}
+	}
+}
+
+// TestStreamDecodeGarbage covers malformed inputs: non-XML noise, a bad
+// size property, and a mid-tag cut.
+func TestStreamDecodeGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"<<<<",
+		`<multistatus xmlns="DAV:"><response><href>/f</href><propstat><prop>` +
+			`<getcontentlength>forty-two</getcontentlength></prop></propstat></response></multistatus>`,
+		`<multistatus xmlns="DAV:"><resp`,
+		"",                    // empty body under a 207
+		"proxy error page",    // no XML at all
+		`<html><body></html>`, // wrong document element
+		`</multistatus>`,      // end tag with nothing open
+		`<multistatus xmlns="DAV:">` + // cut between two responses
+			`<response><href>/a</href></response>`,
+	} {
+		if _, err := DecodeMultistatusStream(strings.NewReader(bad)); err == nil {
+			t.Fatalf("no error for %q", bad)
+		}
+	}
+}
+
+// TestStreamDecodeTruncated asserts a body cut inside a response entry is
+// reported instead of silently dropping the partial entry.
+func TestStreamDecodeTruncated(t *testing.T) {
+	body, err := EncodeMultistatus([]Entry{
+		{Href: "/a", Size: 1},
+		{Href: "/b", Size: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := DecodeMultistatusStream(bytes.NewReader(body))
+	if err != nil || len(full) != 2 {
+		t.Fatalf("full decode: %v entries, err=%v", full, err)
+	}
+	// Cut the document inside the second <response>.
+	cut := bytes.LastIndex(body, []byte("<href>"))
+	if cut < 0 {
+		t.Fatal("no href marker")
+	}
+	if _, err := DecodeMultistatusStream(bytes.NewReader(body[:cut+3])); err == nil {
+		t.Fatal("truncated document decoded without error")
+	}
+}
+
+func TestStreamDecodeEmptyDoc(t *testing.T) {
+	body, err := EncodeMultistatus(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMultistatusStream(bytes.NewReader(body))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v err %v", got, err)
 	}
 }
 
