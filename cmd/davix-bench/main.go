@@ -11,7 +11,7 @@
 //
 // Experiments: fig1, fig2, fig3, fig4, fig4async, gap, failover,
 // multistream, window, poolsize, prefetch, federation, cache, vecpar,
-// meta, all.
+// meta, xfer, all.
 //
 // With -json, every table produced by the run is also written to the given
 // file as a JSON array — CI uses this to track the performance trajectory
@@ -83,6 +83,7 @@ func main() {
 		{"cache", bench.CacheBench},
 		{"vecpar", bench.VecPar},
 		{"meta", bench.Meta},
+		{"xfer", bench.Xfer},
 	}
 
 	ran := 0

@@ -19,7 +19,12 @@
 //   - a parallel namespace engine: Walk fans PROPFINDs out across pooled
 //     connections while preserving serial emission order, multistatus
 //     bodies are decoded streaming off the wire, and List/Walk results
-//     prime the stat cache (Options.WalkParallelism).
+//     prime the stat cache (Options.WalkParallelism);
+//   - a parallel transfer engine: streaming uploads that never materialize
+//     the body (PutReader), multi-stream chunked uploads over Content-Range
+//     PUTs (UploadMultiStream, Options.UploadParallelism), client-mediated
+//     pull-mode third-party copy (CopyStream), and zero-materialization
+//     downloads to any io.WriterAt (DownloadMultiStreamTo).
 //
 // Quickstart:
 //
@@ -35,6 +40,7 @@ package davix
 import (
 	"context"
 	"errors"
+	"io"
 	"net"
 	"time"
 
@@ -111,6 +117,11 @@ type Options struct {
 	// concurrently (0 = 8 capped by MaxPerHost; 1 = serial recursion).
 	// Entry delivery order is identical at every setting.
 	WalkParallelism int
+	// UploadParallelism bounds how many ChunkSize chunks of one
+	// UploadMultiStream or pull-mode CopyStream are in flight concurrently
+	// as Content-Range PUTs (0 = 4 capped by MaxPerHost; 1 = the serial
+	// single-stream PUT, byte-identical on the wire to Put).
+	UploadParallelism int
 
 	// Strategy selects the replica policy (default StrategyFailover).
 	Strategy Strategy
@@ -197,6 +208,7 @@ func New(opts Options) (*Client, error) {
 		MaxRangesPerRequest: opts.MaxRangesPerRequest,
 		VectorParallelism:   opts.VectorParallelism,
 		WalkParallelism:     opts.WalkParallelism,
+		UploadParallelism:   opts.UploadParallelism,
 		Strategy:            opts.Strategy,
 		MetalinkHost:        opts.MetalinkHost,
 		MaxStreams:          opts.MaxStreams,
@@ -268,6 +280,60 @@ func (c *Client) Put(ctx context.Context, url string, data []byte) error {
 		return err
 	}
 	return c.core.Put(ctx, host, path, data)
+}
+
+// PutReader streams size bytes from r to url without materializing the
+// body in memory: the upload is sent with Expect: 100-continue, so
+// head-node redirects are followed before any body byte is consumed from
+// the (possibly non-seekable) reader. size < 0 uploads a source of unknown
+// length with chunked transfer encoding.
+func (c *Client) PutReader(ctx context.Context, url string, r io.Reader, size int64) error {
+	host, path, err := splitURL(url)
+	if err != nil {
+		return err
+	}
+	return c.core.PutReader(ctx, host, path, r, size)
+}
+
+// UploadMultiStream stores size bytes from src at url by PUTting
+// ChunkSize chunks concurrently with Content-Range headers over pooled
+// connections (see Options.UploadParallelism) — the write-side twin of the
+// multi-stream download. Servers that reject ranged PUTs fall back
+// transparently to a single-stream upload; UploadParallelism=1 is
+// byte-identical on the wire to Put.
+func (c *Client) UploadMultiStream(ctx context.Context, url string, src io.ReaderAt, size int64) error {
+	host, path, err := splitURL(url)
+	if err != nil {
+		return err
+	}
+	return c.core.UploadMultiStream(ctx, host, path, src, size)
+}
+
+// DownloadMultiStreamTo downloads url into w without materializing the
+// object: chunks stream through pooled buffers straight to their offsets
+// (memory stays O(chunk), not O(file)), spread over the Metalink replicas
+// when available. Chunks complete out of order, so w must tolerate
+// concurrent disjoint WriteAt calls (os.File does). Returns the object
+// size written.
+func (c *Client) DownloadMultiStreamTo(ctx context.Context, url string, w io.WriterAt) (int64, error) {
+	host, path, err := splitURL(url)
+	if err != nil {
+		return 0, err
+	}
+	return c.core.DownloadMultiStreamTo(ctx, host, path, w)
+}
+
+// CopyStream copies srcURL to destURL through this client — pull-mode
+// third-party copy, complementing the push-mode Copy for destinations the
+// source server cannot reach. Ranged GETs from the source (with Metalink
+// replica failover) are pipelined into ranged PUTs at the destination
+// through pooled buffers; the object is never materialized client-side.
+func (c *Client) CopyStream(ctx context.Context, srcURL, destURL string) error {
+	host, path, err := splitURL(srcURL)
+	if err != nil {
+		return err
+	}
+	return c.core.CopyStream(ctx, host, path, destURL)
 }
 
 // Delete removes the object at url.

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -358,5 +359,69 @@ func TestPublicWalkParallelism(t *testing.T) {
 		if parallel[i] != serial[i] {
 			t.Fatalf("order diverged at %d: %q vs %q", i, parallel[i], serial[i])
 		}
+	}
+}
+
+// writerAtBuf is a minimal concurrent-safe io.WriterAt over a fixed buffer.
+type writerAtBuf struct {
+	mu sync.Mutex
+	b  []byte
+}
+
+func (w *writerAtBuf) WriteAt(p []byte, off int64) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	copy(w.b[off:], p)
+	return len(p), nil
+}
+
+// TestPublicTransferEngine drives the four transfer APIs end to end
+// through the public surface: streaming put, multi-stream upload,
+// zero-materialization download, and pull-mode copy.
+func TestPublicTransferEngine(t *testing.T) {
+	n, st, c := startFabric(t, Options{
+		Strategy:          StrategyNone,
+		ChunkSize:         4 << 10,
+		UploadParallelism: 4,
+	})
+	// A second server to copy to.
+	st2 := storage.NewMemStore()
+	srv2 := httpserv.New(st2, httpserv.Options{})
+	l2, err := n.Listen("dpm2:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l2.Close() })
+	go srv2.Serve(l2)
+
+	ctx := context.Background()
+	blob := make([]byte, 48<<10)
+	rand.New(rand.NewSource(71)).Read(blob)
+
+	if err := c.PutReader(ctx, "http://dpm1:80/t/streamed", bytes.NewBuffer(blob), int64(len(blob))); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := st.Get("/t/streamed"); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("PutReader stored %d bytes err=%v", len(got), err)
+	}
+
+	if err := c.UploadMultiStream(ctx, "http://dpm1:80/t/ms", bytes.NewReader(blob), int64(len(blob))); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := st.Get("/t/ms"); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("UploadMultiStream stored %d bytes err=%v", len(got), err)
+	}
+
+	w := &writerAtBuf{b: make([]byte, len(blob))}
+	nn, err := c.DownloadMultiStreamTo(ctx, "http://dpm1:80/t/ms", w)
+	if err != nil || nn != int64(len(blob)) || !bytes.Equal(w.b, blob) {
+		t.Fatalf("DownloadMultiStreamTo n=%d err=%v", nn, err)
+	}
+
+	if err := c.CopyStream(ctx, "http://dpm1:80/t/ms", "http://dpm2:80/t/copied"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := st2.Get("/t/copied"); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("CopyStream stored %d bytes err=%v", len(got), err)
 	}
 }

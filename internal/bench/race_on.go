@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// timing-bar tests skip themselves, since instrumentation overhead swamps
+// the simulated network delays for memory-heavy workloads.
+const raceEnabled = true

@@ -1,0 +1,296 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+
+	"godavix/internal/core"
+	"godavix/internal/httpserv"
+	"godavix/internal/metalink"
+	"godavix/internal/netsim"
+	"godavix/internal/pool"
+)
+
+// xfer-benchmark geometry: a transfer large enough that per-connection
+// bandwidth dominates, split into enough chunks that the parallel upload
+// can keep every pooled connection busy.
+const (
+	xferSize    = 16 << 20 // 16 MiB object
+	xferChunk   = 1 << 20  // 1 MiB chunks -> 16 chunks
+	xferConns   = 16       // MaxPerHost = UploadParallelism: every chunk gets a stream
+	xferPath    = "/store/xfer.dat"
+	xferAllocMB = 8 // MiB moved per op in the allocation ablations
+)
+
+// runXferUpload times `repeats` uploads of a 16 MiB object with the given
+// UploadParallelism on a fresh testbed, after one untimed warm-up that
+// pays the dials and slow start. parallelism 1 measures the seed's Put —
+// the single-stream upload the paper ships (and the serial
+// UploadMultiStream path is wire-identical to it, asserted by test).
+func runXferUpload(prof netsim.Profile, parallelism, repeats int) (*Sample, error) {
+	env, err := NewEnv(prof, httpserv.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	client, err := env.NewHTTPClient(core.Options{
+		Strategy:          core.StrategyNone,
+		ChunkSize:         xferChunk,
+		UploadParallelism: parallelism,
+		Pool:              pool.Options{MaxPerHost: xferConns},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	blob := make([]byte, xferSize)
+	rand.New(rand.NewSource(51)).Read(blob)
+	ctx := context.Background()
+
+	upload := func() error {
+		if parallelism == 1 {
+			return client.Put(ctx, HTTPAddr, xferPath, blob)
+		}
+		return client.UploadMultiStream(ctx, HTTPAddr, xferPath, bytes.NewReader(blob), xferSize)
+	}
+	if err := upload(); err != nil {
+		return nil, err
+	}
+	s := &Sample{}
+	for rep := 0; rep < repeats; rep++ {
+		timer := startTimer()
+		if err := upload(); err != nil {
+			return nil, err
+		}
+		s.AddDuration(timer())
+	}
+	return s, nil
+}
+
+// patternReader yields n deterministic bytes without holding them: the
+// streaming source whose upload must stay O(chunk) in allocations.
+type patternReader struct{ remaining int64 }
+
+func (r *patternReader) Read(p []byte) (int, error) {
+	if r.remaining <= 0 {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if int64(n) > r.remaining {
+		n = int(r.remaining)
+	}
+	for i := 0; i < n; i++ {
+		p[i] = byte(i)
+	}
+	r.remaining -= int64(n)
+	return n, nil
+}
+
+// putAllocBytes measures client-side bytes allocated per 8 MiB upload
+// against a canned-response replay connection. streaming=true drives
+// PutReader (Expect: 100-continue, body copied through a small buffer);
+// streaming=false reproduces the seed workflow — materialize the source
+// into one []byte, then Put it.
+func putAllocBytes(streaming bool, repeats int) (float64, error) {
+	canned := "HTTP/1.1 201 Created\r\nContent-Length: 0\r\n\r\n"
+	if streaming {
+		canned = "HTTP/1.1 100 Continue\r\n\r\n" + canned
+	}
+	client, err := core.NewClient(core.Options{
+		Dialer: pool.DialerFunc(func(ctx context.Context, addr string) (net.Conn, error) {
+			return &replayConn{resp: []byte(canned)}, nil
+		}),
+		Strategy: core.StrategyNone,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer client.Close()
+
+	const size = int64(xferAllocMB) << 20
+	ctx := context.Background()
+	op := func() error {
+		if streaming {
+			return client.PutReader(ctx, "replay:80", "/up", &patternReader{remaining: size}, size)
+		}
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(&patternReader{remaining: size}, buf); err != nil {
+			return err
+		}
+		return client.Put(ctx, "replay:80", "/up", buf)
+	}
+	for i := 0; i < 2; i++ { // warm the conn and the pools
+		if err := op(); err != nil {
+			return 0, err
+		}
+	}
+	if repeats <= 0 {
+		repeats = 1
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < repeats; i++ {
+		if err := op(); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.TotalAlloc-m0.TotalAlloc) / float64(repeats), nil
+}
+
+// sinkWriterAt is a reusable io.WriterAt destination (an in-memory stand-in
+// for an os.File) tolerating concurrent disjoint writes.
+type sinkWriterAt struct {
+	mu sync.Mutex
+	b  []byte
+}
+
+func (w *sinkWriterAt) WriteAt(p []byte, off int64) (int, error) {
+	w.mu.Lock()
+	copy(w.b[off:], p)
+	w.mu.Unlock()
+	return len(p), nil
+}
+
+// downloadAllocBytes measures bytes allocated per 8 MiB multi-stream
+// download on an ideal in-process testbed. writerAt=true streams chunks
+// through pooled buffers into a reusable WriterAt (DownloadMultiStreamTo);
+// writerAt=false is DownloadMultiStream, which assembles a fresh []byte
+// per call. The in-process server's allocations are counted too, but they
+// are identical on both sides — the delta is the client's O(file) output
+// buffer.
+func downloadAllocBytes(writerAt bool, repeats int) (float64, error) {
+	env, err := NewEnv(netsim.Ideal(), httpserv.Options{
+		Metalinks: func(p string) *metalink.Metalink {
+			return &metalink.Metalink{
+				Name: "xfer", Size: int64(xferAllocMB) << 20,
+				URLs: []metalink.URL{{Loc: "http://" + HTTPAddr + p, Priority: 1}},
+			}
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer env.Close()
+	blob := make([]byte, xferAllocMB<<20)
+	rand.New(rand.NewSource(52)).Read(blob)
+	if err := env.Store.Put(xferPath, blob); err != nil {
+		return 0, err
+	}
+	client, err := env.NewHTTPClient(core.Options{
+		ChunkSize: xferChunk,
+		Pool:      pool.Options{MaxPerHost: xferConns},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer client.Close()
+
+	ctx := context.Background()
+	sink := &sinkWriterAt{b: make([]byte, len(blob))}
+	op := func() error {
+		if writerAt {
+			_, err := client.DownloadMultiStreamTo(ctx, HTTPAddr, xferPath, sink)
+			return err
+		}
+		_, err := client.DownloadMultiStream(ctx, HTTPAddr, xferPath)
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		if err := op(); err != nil {
+			return 0, err
+		}
+	}
+	if repeats <= 0 {
+		repeats = 1
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < repeats; i++ {
+		if err := op(); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.TotalAlloc-m0.TotalAlloc) / float64(repeats), nil
+}
+
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
+}
+
+// Xfer measures the PR-4 parallel transfer engine: the seed's serial
+// single-stream Put versus the multi-stream Content-Range upload on the
+// LAN and WAN profiles, plus the zero-materialization ablations — what
+// PutReader saves over materialize-then-Put and what DownloadMultiStreamTo
+// saves over assembling a []byte. Not in the paper — the paper's davix
+// uploads on one stream; this quantifies what the §2.2 dynamic pool buys
+// when the write path is allowed to use all of it at once.
+func Xfer(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	table := &Table{
+		Title: "Parallel transfers: serial vs multi-stream upload, zero-materialization ablations",
+		Columns: []string{"link", "serial Put", fmt.Sprintf("multi-stream(%d conns)", xferConns),
+			"speedup"},
+	}
+
+	putStream, err := putAllocBytes(true, opts.Repeats*2)
+	if err != nil {
+		return nil, err
+	}
+	putSeed, err := putAllocBytes(false, opts.Repeats*2)
+	if err != nil {
+		return nil, err
+	}
+	dlTo, err := downloadAllocBytes(true, opts.Repeats)
+	if err != nil {
+		return nil, err
+	}
+	dlBuf, err := downloadAllocBytes(false, opts.Repeats)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, prof := range []netsim.Profile{netsim.LAN(), netsim.WAN()} {
+		serial, err := runXferUpload(prof, 1, opts.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		parallel, err := runXferUpload(prof, xferConns, opts.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(
+			prof.Name,
+			formatDur(serial),
+			formatDur(parallel),
+			fmt.Sprintf("%.2fx", serial.Mean()/parallel.Mean()),
+		)
+	}
+	table.Notes = []string{
+		fmt.Sprintf("upload: %d MiB object, %d MiB Content-Range chunks, warm connections (one untimed upload first)",
+			xferSize>>20, xferChunk>>20),
+		fmt.Sprintf("PutReader allocs per %d MiB upload: %s streaming vs %s materialize-then-Put (replay conn)",
+			xferAllocMB, fmtBytes(putStream), fmtBytes(putSeed)),
+		fmt.Sprintf("download allocs per %d MiB: %s to io.WriterAt vs %s assembling []byte (delta = the O(file) output buffer; rest is the in-process server+fabric, identical on both sides)",
+			xferAllocMB, fmtBytes(dlTo), fmtBytes(dlBuf)),
+		"serial upload path verified byte-identical on the wire to the seed PUT",
+	}
+	return table, nil
+}

@@ -446,11 +446,13 @@ func (c *Cache) PeekSpan(key string, p []byte, off int64) bool {
 
 // PutSpan inserts the blocks fully covered by data (the object's content at
 // [off, off+len(data))) without any network traffic — e.g. the fragments a
-// vectored read just fetched, or a whole-object GET. gen must be a
-// Generation() snapshot taken before the data was fetched: if any
-// Invalidate happened since, the possibly-stale span is dropped. eof marks
-// that data ends exactly at the object's end, allowing the trailing partial
-// block to be cached too.
+// vectored read just fetched, a whole-object GET, or the body of an upload
+// this client just performed (write-through: the writer knows the new
+// content). gen must be a Generation() snapshot taken before the data was
+// fetched — or, for a writer, after its own post-upload Invalidate: if any
+// other Invalidate happened since, the possibly-stale span is dropped. eof
+// marks that data ends exactly at the object's end, allowing the trailing
+// partial block to be cached too.
 func (c *Cache) PutSpan(key string, gen uint64, off int64, data []byte, eof bool) {
 	end := off + int64(len(data))
 	idx := (off + c.bs - 1) / c.bs // first block starting inside the span
@@ -480,8 +482,13 @@ func (c *Cache) PutSpan(key string, gen uint64, off int64, data []byte, eof bool
 
 // Invalidate drops every resident block of key and bumps the generation so
 // in-flight fetches and pending PutSpans cannot install stale data.
-// Mutating operations (Put, Delete) and File.Close call it.
-func (c *Cache) Invalidate(key string) {
+// Mutating operations (Put, Delete) and File.Close call it. It returns the
+// new generation: a writer that wants to write its own bytes through (its
+// upload defined the content) passes exactly this value to PutSpan, so a
+// concurrent writer's later invalidation — whose content should win —
+// fences the span out. Snapshotting with a separate Generation() call
+// after Invalidate would race that second writer.
+func (c *Cache) Invalidate(key string) uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.gen++
@@ -493,4 +500,5 @@ func (c *Cache) Invalidate(key string) {
 			c.removeLocked(el)
 		}
 	}
+	return c.gen
 }

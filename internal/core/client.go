@@ -84,6 +84,14 @@ type Options struct {
 	// it is not exposed in the public API.
 	LegacyPropfindDecode bool
 
+	// UploadParallelism bounds how many ChunkSize chunks of one
+	// UploadMultiStream (or pull-mode CopyStream) are in flight
+	// concurrently, each as a Content-Range PUT on its own pooled
+	// connection. 0 (the default) uses defaultUploadParallelism capped by
+	// Pool.MaxPerHost; 1 restores the single-stream whole-body PUT, which
+	// is byte-identical on the wire to Put (the paper-faithful path).
+	UploadParallelism int
+
 	// Strategy selects the Metalink policy (default StrategyFailover).
 	Strategy Strategy
 
@@ -240,14 +248,18 @@ func cacheKey(host, path string) string { return host + "\x00" + path }
 
 // invalidateCache drops cached blocks and metadata for host/path after a
 // mutation (Put, Delete, Mkdir) so readers never see stale data from this
-// client.
-func (c *Client) invalidateCache(host, path string) {
+// client. It returns the block cache's post-invalidation generation (zero
+// without a cache) for writers that follow up with a write-through
+// PutSpan.
+func (c *Client) invalidateCache(host, path string) uint64 {
+	var gen uint64
 	if c.cache != nil {
-		c.cache.Invalidate(cacheKey(host, path))
+		gen = c.cache.Invalidate(cacheKey(host, path))
 	}
 	if c.statc != nil {
 		c.statc.Invalidate(cacheKey(host, path))
 	}
+	return gen
 }
 
 // cacheFetch returns the Fetch the block cache uses to fill pages of
@@ -347,7 +359,23 @@ func (c *Client) Do(ctx context.Context, host string, req *wire.Request) (*Respo
 
 // roundTrip writes req and reads the response header on conn.
 func (c *Client) roundTrip(ctx context.Context, conn *pool.Conn, req *wire.Request) (*wire.Response, error) {
-	nc := conn.NetConn()
+	if err := c.applyDeadline(ctx, conn); err != nil {
+		return nil, err
+	}
+	c.prepare(req)
+	if err := req.Write(conn.NetConn()); err != nil {
+		return nil, fmt.Errorf("davix: write request: %w", err)
+	}
+	resp, err := wire.ReadResponse(conn.Reader(), req.Method)
+	if err != nil {
+		return nil, fmt.Errorf("davix: read response: %w", err)
+	}
+	return resp, nil
+}
+
+// deadlineFor resolves the I/O deadline RequestTimeout and ctx impose
+// (zero when unbounded).
+func (c *Client) deadlineFor(ctx context.Context) time.Time {
 	deadline := time.Time{}
 	if c.opts.RequestTimeout > 0 {
 		deadline = time.Now().Add(c.opts.RequestTimeout)
@@ -355,9 +383,17 @@ func (c *Client) roundTrip(ctx context.Context, conn *pool.Conn, req *wire.Reque
 	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
 		deadline = d
 	}
-	if err := nc.SetDeadline(deadline); err != nil {
-		return nil, err
-	}
+	return deadline
+}
+
+// applyDeadline arms conn's I/O deadline from RequestTimeout and ctx.
+func (c *Client) applyDeadline(ctx context.Context, conn *pool.Conn) error {
+	return conn.NetConn().SetDeadline(c.deadlineFor(ctx))
+}
+
+// prepare stamps the standing headers (User-Agent, auth, S3 signature) on
+// req before it is written to a connection.
+func (c *Client) prepare(req *wire.Request) {
 	if req.Header == nil {
 		req.Header = wire.Header{}
 	}
@@ -370,14 +406,6 @@ func (c *Client) roundTrip(ctx context.Context, conn *pool.Conn, req *wire.Reque
 	if c.opts.S3 != nil {
 		s3.Sign(req, *c.opts.S3, time.Now())
 	}
-	if err := req.Write(nc); err != nil {
-		return nil, fmt.Errorf("davix: write request: %w", err)
-	}
-	resp, err := wire.ReadResponse(conn.Reader(), req.Method)
-	if err != nil {
-		return nil, fmt.Errorf("davix: read response: %w", err)
-	}
-	return resp, nil
 }
 
 // statusErr builds a StatusError for req/resp after discarding the body.

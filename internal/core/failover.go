@@ -39,8 +39,8 @@ func replicaUnavailable(err error) bool {
 }
 
 // replicasFor resolves the replica list for host/path: the primary first,
-// then the Metalink replicas in priority order (excluding duplicates of
-// the primary). Metalink resolution failures degrade to primary-only.
+// then the Metalink replicas in priority order (duplicates excluded).
+// Metalink resolution failures degrade to primary-only.
 func (c *Client) replicasFor(ctx context.Context, host, path string) []Replica {
 	reps := []Replica{{Host: host, Path: path}}
 	if c.opts.Strategy == StrategyNone {
@@ -50,14 +50,7 @@ func (c *Client) replicasFor(ctx context.Context, host, path string) []Replica {
 	if err != nil {
 		return reps
 	}
-	for _, u := range ml.URLs {
-		h, p, err := metalink.SplitURL(u.Loc)
-		if err != nil || (h == host && p == path) {
-			continue
-		}
-		reps = append(reps, Replica{Host: h, Path: p})
-	}
-	return reps
+	return metalinkReplicas(reps, ml)
 }
 
 // withFailover runs op against the primary replica and, if it reports

@@ -2,9 +2,7 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"sync"
 
 	"godavix/internal/metalink"
 )
@@ -26,19 +24,7 @@ func (c *Client) DownloadMultiStream(ctx context.Context, host, path string) ([]
 
 // downloadFromMetalink drives the chunked parallel download.
 func (c *Client) downloadFromMetalink(ctx context.Context, ml *metalink.Metalink, primary Replica) ([]byte, error) {
-	replicas := []Replica{primary}
-	seen := map[Replica]bool{primary: true}
-	for _, u := range ml.URLs {
-		h, p, err := metalink.SplitURL(u.Loc)
-		if err != nil {
-			continue
-		}
-		r := Replica{Host: h, Path: p}
-		if !seen[r] {
-			seen[r] = true
-			replicas = append(replicas, r)
-		}
-	}
+	replicas := metalinkReplicas([]Replica{primary}, ml)
 
 	size := ml.Size
 	if size < 0 {
@@ -59,86 +45,15 @@ func (c *Client) downloadFromMetalink(ctx context.Context, ml *metalink.Metalink
 		return []byte{}, nil
 	}
 
-	nChunks := int((size + c.opts.ChunkSize - 1) / c.opts.ChunkSize)
+	// Each chunk reads straight into its slice of the shared output
+	// buffer — chunks are disjoint, so no extra copy and no per-chunk
+	// allocation. The first chunk failure cancels the sibling streams.
 	out := make([]byte, size)
-	type chunk struct {
-		idx      int
-		off, len int64
-	}
-	work := make(chan chunk, nChunks)
-	for i := 0; i < nChunks; i++ {
-		off := int64(i) * c.opts.ChunkSize
-		ln := c.opts.ChunkSize
-		if off+ln > size {
-			ln = size - off
-		}
-		work <- chunk{idx: i, off: off, len: ln}
-	}
-	close(work)
-
-	streams := c.opts.MaxStreams
-	if streams > nChunks {
-		streams = nChunks
-	}
-	// The first chunk failure cancels the sibling streams through dctx:
-	// in-flight chunk requests abort and the remaining work queue is
-	// abandoned instead of being drained attempt-by-attempt before the
-	// error can be returned.
-	dctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	var (
-		wg      sync.WaitGroup
-		errMu   sync.Mutex
-		firstEr error
-	)
-	setErr := func(err error) {
-		errMu.Lock()
-		if firstEr == nil {
-			firstEr = err
-			cancel()
-		}
-		errMu.Unlock()
-	}
-	for s := 0; s < streams; s++ {
-		wg.Add(1)
-		go func(streamID int) {
-			defer wg.Done()
-			for ck := range work {
-				if dctx.Err() != nil {
-					setErr(ctx.Err())
-					return
-				}
-				// Spread chunks across replicas; on failure walk the ring.
-				// Each chunk reads straight into its slice of the shared
-				// output buffer — chunks are disjoint, so no extra copy and
-				// no per-chunk allocation.
-				var lastErr error
-				ok := false
-				for attempt := 0; attempt < len(replicas); attempt++ {
-					rep := replicas[(ck.idx+attempt)%len(replicas)]
-					n, err := c.getRangeInto(dctx, rep.Host, rep.Path, ck.off, out[ck.off:ck.off+ck.len])
-					if err == nil && int64(n) == ck.len {
-						ok = true
-						break
-					}
-					if err == nil {
-						err = fmt.Errorf("davix: short chunk from %s: %d < %d", rep.Host, n, ck.len)
-					}
-					lastErr = err
-					if dctx.Err() != nil || !replicaUnavailable(err) {
-						break
-					}
-				}
-				if !ok {
-					setErr(errors.Join(ErrAllReplicasFailed, lastErr))
-					return
-				}
-			}
-		}(s)
-	}
-	wg.Wait()
-	if firstEr != nil {
-		return nil, firstEr
+	err := c.forEachChunk(ctx, 0, size, c.opts.MaxStreams, func(cctx context.Context, idx int, off, ln int64) error {
+		return c.readChunkReplicas(cctx, replicas, idx, off, out[off:off+ln])
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

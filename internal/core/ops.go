@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/adler32"
 	"io"
 	"strconv"
 	"time"
 
+	"godavix/internal/metalink"
 	"godavix/internal/webdav"
 	"godavix/internal/wire"
 )
@@ -206,7 +208,10 @@ func (c *Client) getRangeInto(ctx context.Context, host, path string, off int64,
 }
 
 // Put stores data at host/path, following head-node redirects to the
-// disk node designated for the upload.
+// disk node designated for the upload. On success the stat cache is primed
+// with the known new size (a put-then-stat storm is a memory hit) and the
+// uploaded bytes are written through to the block cache: this client just
+// defined the object's content, so a put-then-read costs no round trip.
 func (c *Client) Put(ctx context.Context, host, path string, data []byte) error {
 	resp, err := c.doFollow(ctx, host, path, func(h, p string) *wire.Request {
 		req := wire.NewRequest("PUT", h, p)
@@ -216,13 +221,23 @@ func (c *Client) Put(ctx context.Context, host, path string, data []byte) error 
 	if err != nil {
 		return err
 	}
-	if resp.StatusCode/100 != 2 {
-		return statusErr(resp, "PUT", path)
+	// The writer holds the uploaded bytes, so the primed stat entry can
+	// carry their WLCG-style checksum too — but only a live stat cache
+	// makes the O(size) hash worth paying.
+	checksum := ""
+	if c.statc != nil {
+		checksum = fmt.Sprintf("adler32:%08x", adler32.Checksum(data))
 	}
-	if _, err := resp.ReadAllAndClose(); err != nil {
+	gen, err := c.finishPut(resp, host, path, int64(len(data)), checksum)
+	if err != nil {
 		return err
 	}
-	c.invalidateCache(host, path)
+	if c.cache != nil && len(data) > 0 {
+		// gen is finishPut's own invalidation generation, so a concurrent
+		// writer's later invalidation — whose content should win — fences
+		// this span out.
+		c.cache.PutSpan(cacheKey(host, path), gen, 0, data, true)
+	}
 	return nil
 }
 
@@ -274,8 +289,16 @@ func (c *Client) Copy(ctx context.Context, srcHost, srcPath, destURL string) err
 	if resp.StatusCode/100 != 2 {
 		return statusErr(resp, "COPY", srcPath)
 	}
-	_, err = resp.ReadAllAndClose()
-	return err
+	if _, err = resp.ReadAllAndClose(); err != nil {
+		return err
+	}
+	// The destination now holds different content: drop this client's
+	// cached blocks and stat entries (negative 404s included) for it, so a
+	// copy-then-stat or copy-then-read never serves the pre-copy state.
+	if dHost, dPath, derr := metalink.SplitURL(destURL); derr == nil && dHost != "" {
+		c.invalidateCache(dHost, dPath)
+	}
+	return nil
 }
 
 // Stat describes the resource at host/path using HEAD, falling back to

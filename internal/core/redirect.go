@@ -30,25 +30,35 @@ func isRedirect(code int) bool {
 //
 // build is invoked once per hop so requests with bodies can be replayed.
 func (c *Client) doFollow(ctx context.Context, host, path string, build func(host, path string) *wire.Request) (*Response, error) {
+	resp, _, _, err := c.doFollowAt(ctx, host, path, build)
+	return resp, err
+}
+
+// doFollowAt is doFollow returning, alongside the response, the host/path
+// the request finally landed on after redirects. Multi-chunk uploads use
+// the resolved target to send sibling chunks straight to the disk node the
+// head node designated, reusing its pooled sessions instead of paying the
+// redirect round trip once per chunk.
+func (c *Client) doFollowAt(ctx context.Context, host, path string, build func(host, path string) *wire.Request) (*Response, string, string, error) {
 	for hop := 0; hop <= c.opts.MaxRedirects; hop++ {
 		resp, err := c.Do(ctx, host, build(host, path))
 		if err != nil {
-			return nil, err
+			return nil, "", "", err
 		}
 		if !isRedirect(resp.StatusCode) {
-			return resp, nil
+			return resp, host, path, nil
 		}
 		loc := resp.Header.Get("Location")
 		resp.Discard()
 		resp.Close()
 		if loc == "" {
-			return nil, fmt.Errorf("davix: redirect %d without Location from %s", resp.StatusCode, host)
+			return nil, "", "", fmt.Errorf("davix: redirect %d without Location from %s", resp.StatusCode, host)
 		}
 		h, p, err := metalink.SplitURL(loc)
 		if err != nil {
-			return nil, fmt.Errorf("davix: bad redirect Location %q: %w", loc, err)
+			return nil, "", "", fmt.Errorf("davix: bad redirect Location %q: %w", loc, err)
 		}
 		host, path = h, p
 	}
-	return nil, fmt.Errorf("%w (> %d hops)", ErrTooManyRedirects, c.opts.MaxRedirects)
+	return nil, "", "", fmt.Errorf("%w (> %d hops)", ErrTooManyRedirects, c.opts.MaxRedirects)
 }

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"godavix/internal/bufpool"
+	"godavix/internal/metalink"
+)
+
+// readChunkReplicas fetches [off, off+len(dst)) into dst, spreading load by
+// starting at replica idx mod len(replicas) and walking the ring on
+// unavailability, so one dead replica costs one retry per chunk rather than
+// the whole transfer.
+func (c *Client) readChunkReplicas(ctx context.Context, replicas []Replica, idx int, off int64, dst []byte) error {
+	var lastErr error
+	for attempt := 0; attempt < len(replicas); attempt++ {
+		rep := replicas[(idx+attempt)%len(replicas)]
+		n, err := c.getRangeInto(ctx, rep.Host, rep.Path, off, dst)
+		if err == nil && n == len(dst) {
+			return nil
+		}
+		if err == nil {
+			err = fmt.Errorf("davix: short chunk from %s: %d < %d", rep.Host, n, len(dst))
+		}
+		lastErr = err
+		if ctx.Err() != nil || !replicaUnavailable(err) {
+			break
+		}
+	}
+	return errors.Join(ErrAllReplicasFailed, lastErr)
+}
+
+// metalinkReplicas appends ml's locations to reps in priority order,
+// skipping malformed URLs and duplicates of entries already present.
+func metalinkReplicas(reps []Replica, ml *metalink.Metalink) []Replica {
+	seen := make(map[Replica]bool, len(reps))
+	for _, r := range reps {
+		seen[r] = true
+	}
+	for _, u := range ml.URLs {
+		h, p, err := metalink.SplitURL(u.Loc)
+		if err != nil {
+			continue
+		}
+		r := Replica{Host: h, Path: p}
+		if !seen[r] {
+			seen[r] = true
+			reps = append(reps, r)
+		}
+	}
+	return reps
+}
+
+// DownloadMultiStreamTo downloads host/path into w without materializing
+// the object: every chunk is fetched into a pooled buffer (reusing the
+// allocation-free getRangeInto read path) and written straight to its
+// offset, so memory stays O(chunk × streams) regardless of object size.
+// Chunks are spread over the Metalink replicas when one is available;
+// without one they all stream from the primary, still in parallel over
+// MaxStreams pooled connections. Chunks complete out of order, so w's
+// WriteAt must tolerate concurrent disjoint writes (os.File does). Returns
+// the object size written.
+func (c *Client) DownloadMultiStreamTo(ctx context.Context, host, path string, w io.WriterAt) (int64, error) {
+	replicas := []Replica{{Host: host, Path: path}}
+	size := int64(-1)
+	if c.opts.Strategy != StrategyNone {
+		if ml, err := c.GetMetalink(ctx, host, path); err == nil {
+			replicas = metalinkReplicas(replicas, ml)
+			size = ml.Size
+		}
+	}
+	if size < 0 {
+		var inf Info
+		var err error
+		for _, r := range replicas {
+			if inf, err = c.Stat(ctx, r.Host, r.Path); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return 0, fmt.Errorf("davix: cannot determine size: %w", err)
+		}
+		if inf.Dir {
+			return 0, fmt.Errorf("davix: download %s: is a collection", path)
+		}
+		size = inf.Size
+	}
+	if size == 0 {
+		return 0, nil
+	}
+
+	err := c.forEachChunk(ctx, 0, size, c.opts.MaxStreams, func(cctx context.Context, idx int, off, ln int64) error {
+		buf := bufpool.Get(int(ln))
+		defer bufpool.Put(buf)
+		if err := c.readChunkReplicas(cctx, replicas, idx, off, buf); err != nil {
+			return err
+		}
+		_, err := w.WriteAt(buf, off)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return size, nil
+}
+
+// CopyStream copies srcHost/srcPath to destURL through this client: the
+// pull-mode third-party copy that complements the push-mode Copy. Ranged
+// GETs from the source (with Metalink replica failover) are pipelined into
+// Content-Range PUTs at the destination through pooled buffers, with the
+// in-flight window bounded by Options.UploadParallelism — the object is
+// never materialized in client memory. The first chunk probes the
+// destination: it resolves the head-node redirect once for every sibling
+// and detects ranged-PUT support. Destinations that reject ranged PUTs
+// (and UploadParallelism=1) instead stream the chunks sequentially through
+// one ordinary PUT — still O(chunk) memory.
+func (c *Client) CopyStream(ctx context.Context, srcHost, srcPath, destURL string) error {
+	dHost, dPath, err := metalink.SplitURL(destURL)
+	if err != nil {
+		return fmt.Errorf("davix: bad destination URL %q: %w", destURL, err)
+	}
+	if dHost == "" {
+		return errors.New("davix: empty host in destination URL")
+	}
+
+	var inf Info
+	err = c.withFailover(ctx, srcHost, srcPath, func(r Replica) error {
+		var err error
+		inf, err = c.Stat(ctx, r.Host, r.Path)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if inf.Dir {
+		return fmt.Errorf("davix: copy %s: is a collection", srcPath)
+	}
+	size := inf.Size
+	if size == 0 {
+		return c.Put(ctx, dHost, dPath, nil)
+	}
+	replicas := c.replicasFor(ctx, srcHost, srcPath)
+
+	cs := c.opts.ChunkSize
+	nChunks := int((size + cs - 1) / cs)
+	par := c.uploadParallelism(nChunks)
+	if par <= 1 || nChunks <= 1 {
+		return c.copyStreamPipe(ctx, replicas, dHost, dPath, size)
+	}
+
+	// The source Stat's checksum (when its server reported one) is the
+	// ground truth the destination must match if commit verification runs.
+	want := inf.Checksum
+	return c.multiStreamPut(ctx, dHost, dPath, size, par,
+		func(cctx context.Context, idx int, off int64, buf []byte) error {
+			return c.readChunkReplicas(cctx, replicas, idx, off, buf)
+		},
+		func() error { return c.copyStreamPipe(ctx, replicas, dHost, dPath, size) },
+		func() string { return want })
+}
+
+// copyStreamPipe pulls the source sequentially, chunk by pooled chunk,
+// into a pipe feeding one streaming PUT at the destination — the serial
+// mode of the pull copy and the fallback for destinations without ranged
+// PUT. Memory stays O(chunk); the object is never assembled.
+func (c *Client) copyStreamPipe(ctx context.Context, replicas []Replica, dHost, dPath string, size int64) error {
+	pr, pw := io.Pipe()
+	go func() {
+		cs := c.opts.ChunkSize
+		var err error
+		for off := int64(0); off < size; off += cs {
+			ln := min(cs, size-off)
+			buf := bufpool.Get(int(ln))
+			if err = c.readChunkReplicas(ctx, replicas, int(off/cs), off, buf); err == nil {
+				_, err = pw.Write(buf)
+			}
+			bufpool.Put(buf)
+			if err != nil {
+				break
+			}
+		}
+		pw.CloseWithError(err)
+	}()
+	err := c.PutReader(ctx, dHost, dPath, pr, size)
+	// Unblock the producer if the PUT failed before draining the pipe.
+	pr.CloseWithError(errors.New("davix: copy aborted"))
+	return err
+}

@@ -1,0 +1,541 @@
+package core
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/adler32"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"godavix/internal/bufpool"
+	"godavix/internal/metalink"
+	"godavix/internal/pool"
+	"godavix/internal/wire"
+)
+
+// defaultUploadParallelism is the chunk fan-out used when
+// Options.UploadParallelism is zero, capped by Pool.MaxPerHost.
+const defaultUploadParallelism = 4
+
+// uploadProbeLen caps the first slice of a multi-stream upload. The probe
+// must complete before the siblings launch (it discovers the redirect
+// target and ranged-PUT support), so it carries at most this much data —
+// its round trip costs O(RTT), not O(chunk), keeping the serial prefix of
+// the upload negligible.
+const uploadProbeLen = 64 << 10
+
+// expectContinueWait bounds how long a streaming PUT waits for the
+// server's 100 Continue before sending the body anyway — RFC 9110
+// §10.1.1 requires not waiting indefinitely, since servers may omit the
+// interim response entirely. Matches net/http's default.
+const expectContinueWait = time.Second
+
+// newUploadID mints the X-Upload-Id chunked uploads carry so the server
+// can keep concurrent uploads to the same path in separate assemblies.
+func newUploadID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// uploadParallelism resolves the chunk fan-out for an upload or pull-mode
+// copy that splits into nChunks Content-Range PUTs. An explicit
+// Options.UploadParallelism wins; the default is defaultUploadParallelism
+// capped by the pool's MaxPerHost, so uploads never starve other traffic
+// of pool slots.
+func (c *Client) uploadParallelism(nChunks int) int {
+	par := c.opts.UploadParallelism
+	if par <= 0 {
+		par = defaultUploadParallelism
+		if m := c.opts.Pool.MaxPerHost; m > 0 && par > m {
+			par = m
+		}
+	}
+	if par > nChunks {
+		par = nChunks
+	}
+	return par
+}
+
+// primeAfterWrite restores cache coherence after this client stored size
+// bytes at host/path: stale blocks and stat entries (negative 404s
+// included) are dropped, and — because the writer knows the new size — the
+// stat cache is re-primed so a put-then-stat storm is a memory hit. The
+// primed entry follows the PutIfAbsent upgrade rules: a concurrent richer
+// fill (a live HEAD result) is never overwritten. date, when non-empty, is
+// the server's Date header from the upload response — the closest
+// observable approximation of the new mtime; otherwise the client clock is
+// used. checksum, when non-empty, is computed client-side from the
+// uploaded bytes (Put has them in hand); streaming uploads prime without
+// one. A negative size (streaming upload of unknown length) only
+// invalidates. Returns the block cache's post-invalidation generation for
+// write-through callers.
+func (c *Client) primeAfterWrite(host, path string, size int64, date, checksum string) uint64 {
+	gen := c.invalidateCache(host, path)
+	if c.statc == nil || size < 0 {
+		return gen
+	}
+	mt := time.Now()
+	if date != "" {
+		if t, err := time.Parse(time.RFC1123, date); err == nil {
+			mt = t
+		}
+	}
+	c.statc.PutIfAbsent(cacheKey(host, path), Info{Path: path, Size: size, ModTime: mt, Checksum: checksum})
+	return gen
+}
+
+// finishPut consumes a successful-or-not PUT response: status check, body
+// drain, connection recycle, then post-write cache coherence (invalidate
+// plus stat-cache priming with the known size, checksum when the caller
+// has one, and the server's Date). Returns the post-invalidation block
+// generation for write-through callers.
+func (c *Client) finishPut(resp *Response, host, path string, size int64, checksum string) (uint64, error) {
+	if resp.StatusCode/100 != 2 {
+		return 0, statusErr(resp, "PUT", path)
+	}
+	date := resp.Header.Get("Date")
+	if _, err := resp.ReadAllAndClose(); err != nil {
+		return 0, err
+	}
+	return c.primeAfterWrite(host, path, size, date, checksum), nil
+}
+
+// PutReader streams size bytes from r to host/path without materializing
+// the body: the upload is sent with Expect: 100-continue, so head-node
+// redirects arrive before any body byte leaves the client and the
+// (non-seekable) reader is never consumed by an aborted hop. size < 0
+// streams with chunked transfer encoding for sources of unknown length.
+func (c *Client) PutReader(ctx context.Context, host, path string, r io.Reader, size int64) error {
+	if size == 0 {
+		return c.Put(ctx, host, path, nil)
+	}
+	resp, err := c.putStream(ctx, host, path, r, size)
+	if err != nil {
+		return err
+	}
+	_, err = c.finishPut(resp, host, path, size, "")
+	return err
+}
+
+// putStream drives the Expect: 100-continue upload across redirect hops.
+func (c *Client) putStream(ctx context.Context, host, path string, body io.Reader, size int64) (*Response, error) {
+	for hop := 0; hop <= c.opts.MaxRedirects; hop++ {
+		resp, redirect, err := c.putStreamOnce(ctx, host, path, body, size)
+		if err != nil {
+			return nil, err
+		}
+		if redirect == "" {
+			return resp, nil
+		}
+		h, p, err := metalink.SplitURL(redirect)
+		if err != nil {
+			return nil, fmt.Errorf("davix: bad redirect Location %q: %w", redirect, err)
+		}
+		host, path = h, p
+	}
+	return nil, fmt.Errorf("%w (> %d hops)", ErrTooManyRedirects, c.opts.MaxRedirects)
+}
+
+// putStreamOnce performs one hop of a streaming PUT: headers first, then —
+// after the server's 100 Continue, or after expectContinueWait if the
+// server never speaks (RFC 9110 allows omitting the interim) — the body.
+// A redirect or refusal before the body leaves the reader untouched, so
+// the caller can replay it against the next target; an immediate final
+// 2xx (a server accepting without the body) is returned as the response.
+// The returned redirect is the Location of a 3xx interim verdict.
+func (c *Client) putStreamOnce(ctx context.Context, host, path string, body io.Reader, size int64) (*Response, string, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, err := c.pool.Get(ctx, host)
+		if err != nil {
+			return nil, "", err
+		}
+		reused := conn.Uses() > 1
+
+		req := wire.NewRequest("PUT", host, path)
+		req.Body = body
+		req.ContentLength = size
+		req.Header.Set("Expect", "100-continue")
+		c.prepare(req)
+		if err := c.applyDeadline(ctx, conn); err != nil {
+			c.pool.Discard(conn)
+			return nil, "", err
+		}
+
+		// Write headers, then wait — boundedly — for the server to speak.
+		// Peek consumes nothing, so a silent server cannot desync the
+		// stream: on timeout we simply proceed to the body.
+		var interim *wire.Response
+		err = req.WriteHeader(conn.NetConn())
+		if err == nil {
+			if perr := c.awaitInterim(ctx, conn); perr == nil {
+				interim, err = wire.ReadResponse(conn.Reader(), "PUT")
+			} else if !isTimeout(perr) {
+				err = perr
+			}
+		}
+		if err != nil {
+			c.pool.Discard(conn)
+			lastErr = fmt.Errorf("davix: streaming PUT: %w", err)
+			// The body has not been touched, so a stale recycled
+			// connection justifies one transparent retry, like Do.
+			if !reused || ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+
+		if interim != nil && interim.StatusCode != 100 {
+			// A final verdict before the body was sent. The server may
+			// still believe size bytes are coming on this connection, so
+			// it must never be recycled.
+			if interim.StatusCode/100 == 2 {
+				// Accepted without wanting the body (legal per RFC 9110).
+				interim.KeepAlive = false // forces Close to discard conn
+				return &Response{Response: interim, conn: conn, client: c}, "", nil
+			}
+			code, status := interim.StatusCode, interim.Status
+			loc := interim.Header.Get("Location")
+			c.pool.Discard(conn)
+			if isRedirect(code) {
+				if loc == "" {
+					return nil, "", fmt.Errorf("davix: redirect %d without Location from %s", code, host)
+				}
+				return nil, loc, nil
+			}
+			return nil, "", &StatusError{Code: code, Status: status, Method: "PUT", Path: path}
+		}
+
+		// 100 Continue (or a silent server): stream the body, then read
+		// the real response, skipping any late interim.
+		if err := req.WriteBody(conn.NetConn()); err != nil {
+			c.pool.Discard(conn)
+			return nil, "", fmt.Errorf("davix: streaming PUT body: %w", err)
+		}
+		final, err := wire.ReadResponse(conn.Reader(), "PUT")
+		for err == nil && final.StatusCode == 100 {
+			final, err = wire.ReadResponse(conn.Reader(), "PUT")
+		}
+		if err != nil {
+			c.pool.Discard(conn)
+			return nil, "", fmt.Errorf("davix: streaming PUT response: %w", err)
+		}
+		return &Response{Response: final, conn: conn, client: c}, "", nil
+	}
+	return nil, "", lastErr
+}
+
+// awaitInterim waits up to expectContinueWait (bounded further by the
+// connection's standing deadline) for the first byte of the server's
+// interim response, without consuming it. A timeout return means the
+// server stayed silent and the caller should send the body.
+func (c *Client) awaitInterim(ctx context.Context, conn *pool.Conn) error {
+	if conn.Reader().Buffered() > 0 {
+		return nil
+	}
+	nc := conn.NetConn()
+	wait := time.Now().Add(expectContinueWait)
+	if standing := c.deadlineFor(ctx); !standing.IsZero() && standing.Before(wait) {
+		wait = standing
+	}
+	if err := nc.SetReadDeadline(wait); err != nil {
+		return err
+	}
+	_, err := conn.Reader().Peek(1)
+	// Restore the standing deadline whatever happened.
+	if derr := c.applyDeadline(ctx, conn); derr != nil && err == nil {
+		err = derr
+	}
+	return err
+}
+
+// isTimeout reports whether err is an I/O deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// UploadMultiStream stores size bytes from src at host/path by splitting
+// the object into Options.ChunkSize chunks and PUTting them concurrently
+// with Content-Range headers over pooled connections — the write-side twin
+// of the §2.4 multi-stream download. The first chunk doubles as a probe:
+// it resolves the head-node redirect target (reused by every sibling, so
+// the redirect round trip is paid once) and detects ranged-PUT support. A
+// destination that rejects ranged PUTs (RFC 9110 requires 400 from origins
+// that cannot honour Content-Range on PUT) degrades transparently to the
+// single-stream path. With UploadParallelism=1 the request is
+// byte-identical on the wire to Put — the paper-faithful serial upload.
+func (c *Client) UploadMultiStream(ctx context.Context, host, path string, src io.ReaderAt, size int64) error {
+	if size < 0 {
+		return errors.New("davix: UploadMultiStream needs a known size")
+	}
+	if size == 0 {
+		return c.Put(ctx, host, path, nil)
+	}
+	cs := c.opts.ChunkSize
+	nChunks := int((size + cs - 1) / cs)
+	par := c.uploadParallelism(nChunks)
+	if par <= 1 || nChunks <= 1 {
+		return c.putSerial(ctx, host, path, src, size)
+	}
+
+	readChunk := func(_ context.Context, _ int, off int64, buf []byte) error {
+		if n, err := src.ReadAt(buf, off); n < len(buf) {
+			if err == nil || err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return fmt.Errorf("davix: read upload chunk at %d: %w", off, err)
+		}
+		return nil
+	}
+	return c.multiStreamPut(ctx, host, path, size, par,
+		readChunk,
+		func() error { return c.putSerial(ctx, host, path, src, size) },
+		func() string { return sourceAdler32(src, size) })
+}
+
+// multiStreamPut drives the shared orchestration of every chunked upload
+// (UploadMultiStream and the pull-mode CopyStream): a small probe slice
+// resolves the redirect target and ranged-PUT support, the remaining
+// chunks fan out over par workers pulling bytes through readChunk into
+// pooled buffers, fallback runs when the destination rejects ranged PUTs,
+// and — unless some chunk answered 201 Created — verifyCommitted checks
+// the object actually assembled (wantChecksum supplies the expected
+// content checksum, lazily).
+func (c *Client) multiStreamPut(ctx context.Context, host, path string, size int64, par int,
+	readChunk func(ctx context.Context, idx int, off int64, buf []byte) error,
+	fallback func() error,
+	wantChecksum func() string) error {
+
+	uploadID := newUploadID()
+	probeLen := min(uploadProbeLen, c.opts.ChunkSize, size)
+	var created atomic.Bool
+
+	// Only the destination's PUT verdict feeds the fallback
+	// classification — a chunk-source read failure surfaces as-is (the
+	// fallback would just re-fail on it).
+	buf := bufpool.Get(int(probeLen))
+	if err := readChunk(ctx, 0, 0, buf); err != nil {
+		bufpool.Put(buf)
+		return err
+	}
+	probe, err := c.putRanged(ctx, host, path, buf, 0, size, uploadID)
+	bufpool.Put(buf)
+	if err != nil {
+		if rangedPutUnsupported(err) {
+			return fallback()
+		}
+		return err
+	}
+	if probe.created {
+		created.Store(true)
+	}
+
+	err = c.forEachChunk(ctx, probeLen, size, par, func(cctx context.Context, idx int, off, ln int64) error {
+		buf := bufpool.Get(int(ln))
+		defer bufpool.Put(buf)
+		if err := readChunk(cctx, idx, off, buf); err != nil {
+			return err
+		}
+		res, err := c.putRanged(cctx, probe.host, probe.path, buf, off, size, uploadID)
+		if err == nil && res.created {
+			created.Store(true)
+		}
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if !created.Load() {
+		return c.verifyCommitted(ctx, host, path, size, wantChecksum)
+	}
+	c.primeAfterWrite(host, path, size, "", "")
+	return nil
+}
+
+// sourceAdler32 renders the WLCG-style checksum of the upload source, for
+// commit verification ("" when the source cannot be re-read).
+func sourceAdler32(src io.ReaderAt, size int64) string {
+	h := adler32.New()
+	if _, err := io.Copy(h, io.NewSectionReader(src, 0, size)); err != nil {
+		return ""
+	}
+	return fmt.Sprintf("adler32:%08x", h.Sum32())
+}
+
+// verifyCommitted confirms a chunked upload actually assembled into the
+// final object when no chunk answered 201 Created: per-chunk 202s only
+// acknowledge receipt, and a server that dropped the partial assembly
+// (restart, idle sweep, a concurrent whole-body PUT abandoning it) would
+// otherwise yield a phantom success. Size alone cannot tell a committed
+// upload from a same-size predecessor it was meant to overwrite, so when
+// the server reports a checksum it is compared against wantChecksum —
+// computed lazily, since this whole path only runs when no commit signal
+// arrived. The closing HEAD doubles as the stat-cache prime, with the
+// server's own metadata instead of a client approximation.
+func (c *Client) verifyCommitted(ctx context.Context, host, path string, size int64, wantChecksum func() string) error {
+	inf, err := c.statUncached(ctx, host, path)
+	if err != nil {
+		return fmt.Errorf("davix: upload verification: %w", err)
+	}
+	if inf.Size != size {
+		return fmt.Errorf("davix: upload not committed: server reports %d bytes, want %d", inf.Size, size)
+	}
+	if inf.Checksum != "" && wantChecksum != nil {
+		if want := wantChecksum(); want != "" && sameAlgo(want, inf.Checksum) && !strings.EqualFold(want, inf.Checksum) {
+			return fmt.Errorf("davix: upload not committed: server reports checksum %s, want %s", inf.Checksum, want)
+		}
+	}
+	c.invalidateCache(host, path)
+	if c.statc != nil {
+		c.statc.PutIfAbsent(cacheKey(host, path), inf)
+	}
+	return nil
+}
+
+// sameAlgo reports whether two "algo:hex" checksums use the same
+// algorithm and are therefore comparable.
+func sameAlgo(a, b string) bool {
+	aa, _, ok1 := strings.Cut(a, ":")
+	bb, _, ok2 := strings.Cut(b, ":")
+	return ok1 && ok2 && strings.EqualFold(aa, bb)
+}
+
+// putSerial is the seed's whole-body PUT fed from a ReaderAt: one request,
+// one connection, Content-Length framing — byte-identical on the wire to
+// Put, and replayable across redirect hops because the source is seekable.
+func (c *Client) putSerial(ctx context.Context, host, path string, src io.ReaderAt, size int64) error {
+	resp, err := c.doFollow(ctx, host, path, func(h, p string) *wire.Request {
+		req := wire.NewRequest("PUT", h, p)
+		req.Body = io.NewSectionReader(src, 0, size)
+		req.ContentLength = size
+		return req
+	})
+	if err != nil {
+		return err
+	}
+	_, err = c.finishPut(resp, host, path, size, "")
+	return err
+}
+
+// rangedPutResult reports one Content-Range PUT: the redirect-resolved
+// target (so sibling chunks go there directly) and whether the server
+// answered 201 Created — the commit signal distinguishing "assembled into
+// the final object" from a 202 per-chunk receipt.
+type rangedPutResult struct {
+	host, path string
+	created    bool
+}
+
+// putRanged PUTs data as the [off, off+len(data)) slice of a total-byte
+// object (Content-Range PUT), following redirects. uploadID, when
+// non-empty, travels as X-Upload-Id so the server keeps concurrent
+// uploads to one path in separate assemblies.
+func (c *Client) putRanged(ctx context.Context, host, path string, data []byte, off, total int64, uploadID string) (rangedPutResult, error) {
+	cr := fmt.Sprintf("bytes %d-%d/%d", off, off+int64(len(data))-1, total)
+	resp, rHost, rPath, err := c.doFollowAt(ctx, host, path, func(h, p string) *wire.Request {
+		req := wire.NewRequest("PUT", h, p)
+		req.Header.Set("Content-Range", cr)
+		if uploadID != "" {
+			req.Header.Set("X-Upload-Id", uploadID)
+		}
+		req.SetBodyBytes(data)
+		return req
+	})
+	if err != nil {
+		return rangedPutResult{}, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return rangedPutResult{}, statusErr(resp, "PUT", path)
+	}
+	created := resp.StatusCode == 201
+	if _, err := resp.ReadAllAndClose(); err != nil {
+		return rangedPutResult{}, err
+	}
+	return rangedPutResult{host: rHost, path: rPath, created: created}, nil
+}
+
+// rangedPutUnsupported classifies err as "this server does not implement
+// Content-Range on PUT" — the statuses compliant origins use to refuse a
+// partial PUT — as opposed to a transient or semantic failure worth
+// surfacing.
+func rangedPutUnsupported(err error) bool {
+	var se *StatusError
+	if !errors.As(err, &se) {
+		return false
+	}
+	switch se.Code {
+	case 400, 405, 416, 501:
+		return true
+	}
+	return false
+}
+
+// forEachChunk runs fn once per Options.ChunkSize chunk of the [start,
+// size) byte range of an object, across up to streams workers. The first
+// chunk error cancels the siblings through a derived context: in-flight
+// requests abort and queued chunks are abandoned. Parent-context
+// cancellation surfaces as ctx.Err even when no worker recorded an error.
+func (c *Client) forEachChunk(ctx context.Context, start, size int64, streams int, fn func(ctx context.Context, idx int, off, ln int64) error) error {
+	cs := c.opts.ChunkSize
+	nChunks := int((size - start + cs - 1) / cs)
+	if nChunks <= 0 {
+		return ctx.Err()
+	}
+	if streams > nChunks {
+		streams = nChunks
+	}
+	if streams < 1 {
+		streams = 1
+	}
+
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		next     atomic.Int64
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		errMu.Unlock()
+	}
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for dctx.Err() == nil {
+				idx := int(next.Add(1)) - 1
+				if idx >= nChunks {
+					return
+				}
+				off := start + int64(idx)*cs
+				ln := min(cs, size-off)
+				if err := fn(dctx, idx, off, ln); err != nil {
+					setErr(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr == nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return firstErr
+}

@@ -18,6 +18,7 @@ import (
 	"net"
 	"net/http"
 	"path"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -63,6 +64,12 @@ type Options struct {
 	// signature on every request; it maps access keys to secrets
 	// (return "" for unknown keys).
 	S3Secrets func(accessKey string) string
+
+	// DisableRangedPut makes the server refuse PUTs carrying a
+	// Content-Range header with 400, the RFC 9110 §14.4 behaviour of an
+	// origin that does not implement partial PUTs. Used to exercise the
+	// client's single-stream upload fallback.
+	DisableRangedPut bool
 }
 
 // Copier pushes an object to another storage server.
@@ -86,6 +93,10 @@ type Fault struct {
 	// Remaining, when positive, auto-expires the fault after that many
 	// requests; negative means unlimited.
 	Remaining int
+	// After, when positive, lets that many matching requests through
+	// unharmed before the fault starts firing — e.g. pass a multi-stream
+	// upload's probe chunk and fail a sibling.
+	After int
 }
 
 // Server is a DPM-like storage server.
@@ -96,16 +107,93 @@ type Server struct {
 	mu     sync.Mutex
 	faults map[string]*Fault
 
+	// partials assembles in-progress ranged (Content-Range) uploads, one
+	// per path and upload id (the client's X-Upload-Id keeps concurrent
+	// uploads to one path from interleaving into a corrupt blend), until
+	// every byte of the declared total has arrived.
+	partialMu sync.Mutex
+	partials  map[partialKey]*partialUpload
+
 	requests atomic.Int64
 	byMethod sync.Map // method -> *atomic.Int64
+}
+
+// Ranged-upload assembly bounds: total size and concurrent-assembly caps
+// refuse runaway requests, and assemblies idle past partialTTL are swept
+// when a new one is created — an aborted multi-stream upload cannot pin
+// its buffer forever.
+const (
+	maxPartialTotal = 1 << 30
+	maxPartials     = 64
+	partialTTL      = time.Minute
+)
+
+// partialKey identifies one upload assembly: the target path plus the
+// client's X-Upload-Id ("" when the client sent none).
+type partialKey struct {
+	path string
+	id   string
+}
+
+// partialUpload is a ranged upload being assembled: the full-size buffer
+// plus the sorted disjoint intervals already written, so out-of-order and
+// overlapping chunks are both handled and commit happens exactly when the
+// whole [0, total) range is covered.
+type partialUpload struct {
+	data      []byte
+	intervals []ivl // sorted, non-overlapping
+	// writers counts chunk bodies currently streaming into data; the
+	// committing request waits for them so the zero-copy handoff to the
+	// store never races a late duplicate's copy.
+	writers sync.WaitGroup
+	// active mirrors the writers count under partialMu so the idle sweep
+	// never drops an assembly whose chunk body is still streaming.
+	active int
+	// lastTouch drives the idle sweep.
+	lastTouch time.Time
+}
+
+type ivl struct{ start, end int64 } // [start, end)
+
+// add merges [start, end) into the coverage set and reports the total
+// number of bytes covered afterwards.
+func (p *partialUpload) add(start, end int64) int64 {
+	merged := make([]ivl, 0, len(p.intervals)+1)
+	covered := int64(0)
+	cur := ivl{start, end}
+	placed := false
+	for _, iv := range p.intervals {
+		switch {
+		case iv.end < cur.start:
+			merged = append(merged, iv)
+		case cur.end < iv.start:
+			if !placed {
+				merged = append(merged, cur)
+				placed = true
+			}
+			merged = append(merged, iv)
+		default: // overlap or touch: absorb into cur
+			cur.start = min(cur.start, iv.start)
+			cur.end = max(cur.end, iv.end)
+		}
+	}
+	if !placed {
+		merged = append(merged, cur)
+	}
+	p.intervals = merged
+	for _, iv := range merged {
+		covered += iv.end - iv.start
+	}
+	return covered
 }
 
 // New creates a Server over store.
 func New(store storage.Store, opts Options) *Server {
 	return &Server{
-		store:  store,
-		opts:   opts,
-		faults: make(map[string]*Fault),
+		store:    store,
+		opts:     opts,
+		faults:   make(map[string]*Fault),
+		partials: make(map[partialKey]*partialUpload),
 	}
 }
 
@@ -135,6 +223,10 @@ func (s *Server) takeFault(p string) *Fault {
 		f, ok := s.faults[key]
 		if !ok {
 			continue
+		}
+		if f.After > 0 {
+			f.After--
+			return nil
 		}
 		if f.Remaining > 0 {
 			f.Remaining--
@@ -291,16 +383,235 @@ func (s *Server) serveGet(w http.ResponseWriter, r *http.Request, p string) {
 }
 
 func (s *Server) servePut(w http.ResponseWriter, r *http.Request, p string) {
-	data, err := io.ReadAll(r.Body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if cr := r.Header.Get("Content-Range"); cr != "" {
+		if s.opts.DisableRangedPut {
+			// RFC 9110 §14.4: an origin that cannot honour Content-Range
+			// on PUT must reject the request rather than store a chunk as
+			// the whole object.
+			http.Error(w, "Content-Range on PUT not supported", http.StatusBadRequest)
+			return
+		}
+		s.serveRangedPut(w, r, p, cr)
 		return
 	}
+	if r.ContentLength > maxPartialTotal {
+		http.Error(w, "body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	data, err := readBody(r)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, errBodyTooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	// A whole-body PUT replaces the object: any half-assembled ranged
+	// upload for the path (every upload id) is abandoned.
+	s.partialMu.Lock()
+	for k := range s.partials {
+		if k.path == p {
+			delete(s.partials, k)
+		}
+	}
+	s.partialMu.Unlock()
 	if err := s.store.Put(p, data); err != nil {
 		writeStoreErr(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusCreated)
+}
+
+// errBodyTooLarge marks a request body over the maxPartialTotal cap.
+var errBodyTooLarge = errors.New("httpserv: body too large")
+
+// readBody drains a request body. Content-Length-framed bodies land in one
+// exactly-sized allocation instead of io.ReadAll's grow-and-copy loop —
+// uploads are this server's hottest write path. A body shorter than its
+// declared length (connection cut mid-upload) is an error: truncated
+// uploads must never commit. Chunked bodies are bounded by the same
+// maxPartialTotal cap the length-framed paths enforce.
+func readBody(r *http.Request) ([]byte, error) {
+	if r.ContentLength < 0 {
+		b, err := io.ReadAll(io.LimitReader(r.Body, maxPartialTotal+1))
+		if err == nil && int64(len(b)) > maxPartialTotal {
+			return nil, errBodyTooLarge
+		}
+		return b, err
+	}
+	buf := make([]byte, r.ContentLength)
+	if _, err := io.ReadFull(r.Body, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// parseContentRange parses a "bytes start-end/total" upload range. The
+// total must be concrete (no "*"): commit is decided by coverage of it.
+func parseContentRange(cr string) (start, end, total int64, ok bool) {
+	rest, found := strings.CutPrefix(cr, "bytes ")
+	if !found {
+		return 0, 0, 0, false
+	}
+	span, totalStr, found := strings.Cut(rest, "/")
+	if !found {
+		return 0, 0, 0, false
+	}
+	startStr, endStr, found := strings.Cut(span, "-")
+	if !found {
+		return 0, 0, 0, false
+	}
+	var err error
+	if start, err = strconv.ParseInt(startStr, 10, 64); err != nil {
+		return 0, 0, 0, false
+	}
+	if end, err = strconv.ParseInt(endStr, 10, 64); err != nil {
+		return 0, 0, 0, false
+	}
+	if total, err = strconv.ParseInt(totalStr, 10, 64); err != nil {
+		return 0, 0, 0, false
+	}
+	if start < 0 || end < start || total <= end {
+		return 0, 0, 0, false
+	}
+	return start, end, total, true
+}
+
+// ownedPutter is the optional zero-copy commit path a Store may offer
+// (MemStore does): the server hands over the assembled buffer instead of
+// having it copied again.
+type ownedPutter interface {
+	PutOwned(p string, data []byte) error
+}
+
+// serveRangedPut assembles one Content-Range chunk into the path's partial
+// upload, committing to the store when every byte of the declared total
+// has arrived: 202 Accepted per partial chunk, 201 Created on commit. The
+// davix client PUTs disjoint chunks concurrently over pooled connections;
+// out-of-order and duplicate arrivals are both tolerated. Chunk bodies
+// stream directly into the assembly buffer — concurrent chunks copy in
+// parallel, only the interval bookkeeping is serialized.
+func (s *Server) serveRangedPut(w http.ResponseWriter, r *http.Request, p, cr string) {
+	start, end, total, ok := parseContentRange(cr)
+	if !ok {
+		http.Error(w, "malformed Content-Range: "+cr, http.StatusBadRequest)
+		return
+	}
+	want := end - start + 1
+	if r.ContentLength >= 0 && r.ContentLength != want {
+		http.Error(w, fmt.Sprintf("body is %d bytes, Content-Range promises %d", r.ContentLength, want), http.StatusBadRequest)
+		return
+	}
+	if total > maxPartialTotal {
+		http.Error(w, "upload total too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	key := partialKey{path: p, id: r.Header.Get("X-Upload-Id")}
+
+	s.partialMu.Lock()
+	pu := s.partials[key]
+	if pu == nil {
+		s.sweepPartialsLocked()
+		if len(s.partials) >= maxPartials {
+			s.partialMu.Unlock()
+			http.Error(w, "too many uploads in progress", http.StatusServiceUnavailable)
+			return
+		}
+		// Allocate the assembly buffer outside the lock; another chunk may
+		// win the race, in which case ours is dropped.
+		s.partialMu.Unlock()
+		fresh := &partialUpload{data: make([]byte, total)}
+		s.partialMu.Lock()
+		if pu = s.partials[key]; pu == nil {
+			// Re-check the cap: other first chunks may have inserted while
+			// the lock was released for the allocation.
+			if len(s.partials) >= maxPartials {
+				s.partialMu.Unlock()
+				http.Error(w, "too many uploads in progress", http.StatusServiceUnavailable)
+				return
+			}
+			pu = fresh
+			s.partials[key] = pu
+		}
+	}
+	if int64(len(pu.data)) != total {
+		s.partialMu.Unlock()
+		http.Error(w, "total differs from upload in progress", http.StatusConflict)
+		return
+	}
+	pu.lastTouch = time.Now()
+	// Registered under the lock while pu is current: the committer deletes
+	// the map entry under this lock before Wait, so every Add
+	// happens-before its Wait.
+	pu.writers.Add(1)
+	pu.active++
+	s.partialMu.Unlock()
+
+	// Stream the body straight into place. A failed read leaves the
+	// interval unmarked, so a retry simply overwrites the garbage.
+	_, err := io.ReadFull(r.Body, pu.data[start:end+1])
+	if err == nil && r.ContentLength < 0 { // chunked body: refuse trailing bytes
+		var one [1]byte
+		if n, _ := r.Body.Read(one[:]); n > 0 {
+			err = errors.New("body longer than Content-Range promises")
+		}
+	}
+	pu.writers.Done()
+
+	s.partialMu.Lock()
+	pu.active--
+	pu.lastTouch = time.Now()
+	if err != nil {
+		s.partialMu.Unlock()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// The assembly may have been replaced (whole-body PUT) or committed
+	// while we copied; only count coverage toward the buffer the bytes
+	// actually landed in.
+	if s.partials[key] != pu {
+		s.partialMu.Unlock()
+		w.WriteHeader(http.StatusAccepted)
+		return
+	}
+	covered := pu.add(start, end+1)
+	var data []byte
+	if covered == total {
+		data = pu.data
+		delete(s.partials, key)
+	}
+	s.partialMu.Unlock()
+
+	if data == nil {
+		w.WriteHeader(http.StatusAccepted)
+		return
+	}
+	// Quiesce late duplicate chunks before the zero-copy handoff: the
+	// store may retain data (PutOwned), so no writer may touch it after
+	// this point.
+	pu.writers.Wait()
+	if op, ok := s.store.(ownedPutter); ok {
+		err = op.PutOwned(p, data)
+	} else {
+		err = s.store.Put(p, data)
+	}
+	if err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+// sweepPartialsLocked drops assemblies idle past partialTTL, never one
+// with a chunk body still streaming in. Caller holds partialMu.
+func (s *Server) sweepPartialsLocked() {
+	cutoff := time.Now().Add(-partialTTL)
+	for k, pu := range s.partials {
+		if pu.active == 0 && pu.lastTouch.Before(cutoff) {
+			delete(s.partials, k)
+		}
+	}
 }
 
 func (s *Server) serveDelete(w http.ResponseWriter, p string) {

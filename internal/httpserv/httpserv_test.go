@@ -356,3 +356,121 @@ func TestOptionsAdvertisesDAV(t *testing.T) {
 		t.Fatalf("headers = %+v", resp.Header)
 	}
 }
+
+// putRange sends one Content-Range chunk and returns the status code.
+func putRange(t *testing.T, url string, body []byte, start, end, total int64) int {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodPut, url, strings.NewReader(string(body)))
+	req.Header.Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", start, end, total))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestRangedPutAssemblesOutOfOrder: chunks arrive out of order and with an
+// overlap; commit happens exactly when [0,total) is covered.
+func TestRangedPutAssemblesOutOfOrder(t *testing.T) {
+	_, ts, st := newTestServer(t, Options{})
+	blob := []byte("0123456789abcdef")
+	url := ts.URL + "/ranged"
+
+	if code := putRange(t, url, blob[8:16], 8, 15, 16); code != http.StatusAccepted {
+		t.Fatalf("tail chunk status = %d, want 202", code)
+	}
+	if _, err := st.Stat("/ranged"); err == nil {
+		t.Fatal("object committed before full coverage")
+	}
+	// Overlapping middle chunk, then the head: still assembles correctly.
+	if code := putRange(t, url, blob[4:12], 4, 11, 16); code != http.StatusAccepted {
+		t.Fatalf("middle chunk status = %d, want 202", code)
+	}
+	if code := putRange(t, url, blob[0:4], 0, 3, 16); code != http.StatusCreated {
+		t.Fatalf("final chunk status = %d, want 201", code)
+	}
+	got, _, err := st.Get("/ranged")
+	if err != nil || string(got) != string(blob) {
+		t.Fatalf("assembled %q err=%v", got, err)
+	}
+}
+
+// TestRangedPutRejectsMalformed: bad ranges, length mismatches, and total
+// conflicts are refused without corrupting state.
+func TestRangedPutRejectsMalformed(t *testing.T) {
+	_, ts, st := newTestServer(t, Options{})
+	url := ts.URL + "/bad"
+
+	for _, cr := range []string{
+		"bytes 4-1/16",  // end before start
+		"bytes 0-16/16", // end past total
+		"bytes 0-3/*",   // indeterminate total
+		"chunks 0-3/16", // wrong unit
+		"bytes zero-3/16",
+	} {
+		req, _ := http.NewRequest(http.MethodPut, url, strings.NewReader("xxxx"))
+		req.Header.Set("Content-Range", cr)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("Content-Range %q status = %d, want 400", cr, resp.StatusCode)
+		}
+	}
+	// Body length must match the promised range.
+	if code := putRange(t, url, []byte("xx"), 0, 3, 16); code != http.StatusBadRequest {
+		t.Fatalf("short body status = %d, want 400", code)
+	}
+	// A different total than the upload in progress is a conflict.
+	if code := putRange(t, url, []byte("xxxx"), 0, 3, 16); code != http.StatusAccepted {
+		t.Fatalf("first chunk status = %d, want 202", code)
+	}
+	if code := putRange(t, url, []byte("xxxx"), 4, 7, 32); code != http.StatusConflict {
+		t.Fatalf("total mismatch status = %d, want 409", code)
+	}
+	if _, err := st.Stat("/bad"); err == nil {
+		t.Fatal("malformed uploads committed an object")
+	}
+}
+
+// TestRangedPutDisabled: with DisableRangedPut the server refuses partial
+// PUTs with 400 (RFC 9110 §14.4) and never stores chunk bodies.
+func TestRangedPutDisabled(t *testing.T) {
+	_, ts, st := newTestServer(t, Options{DisableRangedPut: true})
+	if code := putRange(t, ts.URL+"/off", []byte("xxxx"), 0, 3, 8); code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", code)
+	}
+	if _, err := st.Stat("/off"); err == nil {
+		t.Fatal("chunk stored despite DisableRangedPut")
+	}
+}
+
+// TestWholePutAbandonsPartial: a whole-body PUT replaces any half-built
+// ranged upload for the path.
+func TestWholePutAbandonsPartial(t *testing.T) {
+	_, ts, st := newTestServer(t, Options{})
+	url := ts.URL + "/swap"
+	if code := putRange(t, url, []byte("aaaa"), 0, 3, 8); code != http.StatusAccepted {
+		t.Fatalf("chunk status = %d", code)
+	}
+	req, _ := http.NewRequest(http.MethodPut, url, strings.NewReader("whole"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// Completing the old ranged upload now starts a fresh assembly rather
+	// than resurrecting the abandoned one.
+	if code := putRange(t, url, []byte("bbbb"), 4, 7, 8); code != http.StatusAccepted {
+		t.Fatalf("post-replace chunk status = %d, want 202 (fresh assembly)", code)
+	}
+	got, _, err := st.Get("/swap")
+	if err != nil || string(got) != "whole" {
+		t.Fatalf("stored %q err=%v", got, err)
+	}
+}

@@ -152,6 +152,15 @@ func (s *MemStore) Get(p string) ([]byte, Info, error) {
 
 // Put implements Store, creating parent directories as needed.
 func (s *MemStore) Put(p string, data []byte) error {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	return s.PutOwned(p, buf)
+}
+
+// PutOwned stores data at p taking ownership of the slice: the caller must
+// not retain or mutate it afterwards. It skips Put's defensive copy, which
+// matters to the test server's assembled multi-MiB ranged uploads.
+func (s *MemStore) PutOwned(p string, data []byte) error {
 	parts := splitPath(p)
 	if len(parts) == 0 {
 		return ErrIsDir
@@ -174,9 +183,7 @@ func (s *MemStore) Put(p string, data []byte) error {
 	if e, ok := cur.children[name]; ok && e.dir {
 		return ErrIsDir
 	}
-	buf := make([]byte, len(data))
-	copy(buf, data)
-	cur.children[name] = &memEntry{data: buf, checksum: Checksum(buf), modTime: s.now()}
+	cur.children[name] = &memEntry{data: data, checksum: Checksum(data), modTime: s.now()}
 	return nil
 }
 
