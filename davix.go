@@ -24,7 +24,13 @@
 //     the body (PutReader), multi-stream chunked uploads over Content-Range
 //     PUTs (UploadMultiStream, Options.UploadParallelism), client-mediated
 //     pull-mode third-party copy (CopyStream), and zero-materialization
-//     downloads to any io.WriterAt (DownloadMultiStreamTo).
+//     downloads to any io.WriterAt (DownloadMultiStreamTo);
+//   - a layered resilience engine every operation executes through:
+//     pooled-connection stale-recycle replays, redirect following with loop
+//     detection and cross-host credential hygiene, bounded retry with
+//     backoff (Options.Retry), Metalink replica failover, and a per-host
+//     health scoreboard that demotes flapping nodes and re-probes them
+//     (Options.HealthThreshold) — all observable via Client.Metrics().
 //
 // Quickstart:
 //
@@ -79,6 +85,11 @@ var (
 	ErrNotFound = core.ErrNotFound
 	// ErrAllReplicasFailed reports an exhausted Metalink failover.
 	ErrAllReplicasFailed = core.ErrAllReplicasFailed
+	// ErrTooManyRedirects reports a redirect chain past MaxRedirects.
+	ErrTooManyRedirects = core.ErrTooManyRedirects
+	// ErrRedirectLoop reports a redirect cycle (A→B→A), detected on the
+	// first revisited target instead of burning the MaxRedirects budget.
+	ErrRedirectLoop = core.ErrRedirectLoop
 )
 
 // StatusError is the typed error for non-success HTTP statuses.
@@ -139,6 +150,19 @@ type Options struct {
 	// MaxRedirects bounds followed 3xx redirects (default 5); DPM-style
 	// head nodes redirect data operations to disk nodes.
 	MaxRedirects int
+	// Retry bounds the engine's retry-with-backoff layer for idempotent
+	// operations. The zero value means no retries (Attempts normalized to
+	// 1), today's behaviour; set Attempts > 1 to absorb transient 5xx and
+	// transport failures with exponential backoff.
+	Retry RetryPolicy
+	// HealthThreshold is how many consecutive host-level failures demote
+	// a host on the per-host health scoreboard: replica rings then prefer
+	// other hosts until a half-open probe readmits it. 0 uses the default
+	// of 3; negative disables the scoreboard.
+	HealthThreshold int
+	// HealthProbeAfter is how long a demoted host stays skipped before
+	// one probe request is let through (default 2s).
+	HealthProbeAfter time.Duration
 	// Auth attaches Bearer or Basic credentials to every request.
 	Auth *Credentials
 	// VerifyChecksums enables end-to-end adler32 verification of full
@@ -164,6 +188,15 @@ type Options struct {
 
 // CacheStats are the client cache counters; see Client.CacheStats.
 type CacheStats = blockcache.Stats
+
+// RetryPolicy bounds the retry-with-backoff layer; see Options.Retry.
+type RetryPolicy = core.RetryPolicy
+
+// Metrics is the client-wide observability snapshot; see Client.Metrics.
+type Metrics = core.Metrics
+
+// OpStats is one operation's latency summary inside Metrics.Ops.
+type OpStats = core.OpStats
 
 // S3Credentials identify an AWS SigV4 principal.
 type S3Credentials = s3.Credentials
@@ -215,6 +248,9 @@ func New(opts Options) (*Client, error) {
 		ChunkSize:           opts.ChunkSize,
 		UserAgent:           opts.UserAgent,
 		MaxRedirects:        opts.MaxRedirects,
+		RetryPolicy:         opts.Retry,
+		HealthThreshold:     opts.HealthThreshold,
+		HealthProbeAfter:    opts.HealthProbeAfter,
 		Auth:                opts.Auth,
 		VerifyChecksums:     opts.VerifyChecksums,
 		S3:                  opts.S3,
@@ -242,6 +278,11 @@ func (c *Client) PoolStats() (dials, reuses, discards int64) {
 // evictions, prefetches, single-flight joins). All zeros when caching is
 // disabled.
 func (c *Client) CacheStats() CacheStats { return c.core.CacheStats() }
+
+// Metrics snapshots the client-wide engine counters — requests, retries,
+// redirects, failovers, breaker trips, wire bytes up/down — and per-op
+// latency quantiles. Safe to call concurrently with in-flight operations.
+func (c *Client) Metrics() Metrics { return c.core.Metrics() }
 
 // splitURL parses "http://host:port/path" (scheme optional).
 func splitURL(url string) (host, path string, err error) {

@@ -425,3 +425,50 @@ func TestPublicTransferEngine(t *testing.T) {
 		t.Fatalf("CopyStream stored %d bytes err=%v", len(got), err)
 	}
 }
+
+// TestPublicMetricsAndRetry: Options.Retry reaches the engine and
+// Client.Metrics() reports what the client actually did.
+func TestPublicMetricsAndRetry(t *testing.T) {
+	n := netsim.New(netsim.Ideal())
+	st := storage.NewMemStore()
+	srv := httpserv.New(st, httpserv.Options{})
+	l, err := n.Listen("dpm1:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go srv.Serve(l)
+
+	c, err := New(Options{
+		Dialer:   n,
+		Strategy: StrategyNone,
+		Retry: RetryPolicy{
+			Attempts:    3,
+			BaseBackoff: time.Millisecond,
+			Jitter:      func(time.Duration) time.Duration { return 0 },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ctx := context.Background()
+
+	st.Put("/f", []byte("observable"))
+	srv.SetFault("/f", httpserv.Fault{Status: 503, Remaining: 1})
+	got, err := c.Get(ctx, "http://dpm1:80/f")
+	if err != nil || string(got) != "observable" {
+		t.Fatalf("get = %q err=%v", got, err)
+	}
+
+	m := c.Metrics()
+	if m.Requests != 2 || m.Retries != 1 {
+		t.Fatalf("requests=%d retries=%d, want 2/1", m.Requests, m.Retries)
+	}
+	if m.BytesUp <= 0 || m.BytesDown <= 0 {
+		t.Fatalf("bytes up/down = %d/%d", m.BytesUp, m.BytesDown)
+	}
+	if op := m.Ops["GET"]; op.Count != 1 || op.P50 <= 0 {
+		t.Fatalf("Ops[GET] = %+v", op)
+	}
+}

@@ -115,6 +115,21 @@ type Options struct {
 	// from the head node to disk nodes.
 	MaxRedirects int
 
+	// RetryPolicy bounds the engine's retry-with-backoff layer for
+	// idempotent operations. The zero value (and any Attempts < 1) is
+	// normalized to Attempts=1: no retries, the seed semantics.
+	RetryPolicy RetryPolicy
+
+	// HealthThreshold is how many consecutive host-level failures demote
+	// a host on the per-host health scoreboard (breaker opens; replica
+	// rings then prefer other hosts). 0 uses the default of 3; negative
+	// disables the scoreboard.
+	HealthThreshold int
+
+	// HealthProbeAfter is how long a demoted host stays skipped before a
+	// single half-open probe request is let through (default 2s).
+	HealthProbeAfter time.Duration
+
 	// Auth, when non-nil, is attached to every request.
 	Auth *Credentials
 
@@ -164,21 +179,77 @@ func (cr *Credentials) header() string {
 	return "Basic " + base64.StdEncoding.EncodeToString([]byte(cr.Username+":"+cr.Password))
 }
 
+// withDefaults validates and normalizes the options once, in New, so the
+// hot path never sees nonsense values: zero means "use the documented
+// default", and negative sizes/counts that have no meaning are normalized
+// the same way rather than reaching arithmetic as-is.
 func (o Options) withDefaults() Options {
-	if o.MaxRangesPerRequest == 0 {
+	if o.MaxRangesPerRequest <= 0 {
 		o.MaxRangesPerRequest = 256
 	}
-	if o.MaxRedirects == 0 {
+	if o.MaxRedirects <= 0 {
 		o.MaxRedirects = 5
 	}
-	if o.MaxStreams == 0 {
+	if o.MaxStreams <= 0 {
 		o.MaxStreams = 4
 	}
-	if o.ChunkSize == 0 {
+	if o.ChunkSize <= 0 {
 		o.ChunkSize = 1 << 20
 	}
 	if o.UserAgent == "" {
 		o.UserAgent = "godavix/1.0"
+	}
+	// Parallelism knobs: 0 already means "derive from the pool"; negative
+	// values have no meaning and collapse to the same derivation.
+	if o.VectorParallelism < 0 {
+		o.VectorParallelism = 0
+	}
+	if o.WalkParallelism < 0 {
+		o.WalkParallelism = 0
+	}
+	if o.UploadParallelism < 0 {
+		o.UploadParallelism = 0
+	}
+	if o.CoalesceGap < 0 {
+		o.CoalesceGap = 0
+	}
+	if o.RequestTimeout < 0 {
+		o.RequestTimeout = 0
+	}
+	// Cache knobs: negative disables, like zero.
+	if o.CacheSize < 0 {
+		o.CacheSize = 0
+	}
+	if o.BlockSize < 0 {
+		o.BlockSize = 0
+	}
+	if o.ReadAhead < 0 {
+		o.ReadAhead = 0
+	}
+	if o.StatTTL < 0 {
+		o.StatTTL = 0
+	}
+	// Retry budget: Attempts < 1 means no retries; backoff fields only
+	// matter once retries are possible.
+	if o.RetryPolicy.Attempts < 1 {
+		o.RetryPolicy.Attempts = 1
+	}
+	if o.RetryPolicy.BaseBackoff <= 0 {
+		o.RetryPolicy.BaseBackoff = 50 * time.Millisecond
+	}
+	if o.RetryPolicy.CapBackoff <= 0 {
+		o.RetryPolicy.CapBackoff = 2 * time.Second
+	}
+	if o.RetryPolicy.CapBackoff < o.RetryPolicy.BaseBackoff {
+		o.RetryPolicy.CapBackoff = o.RetryPolicy.BaseBackoff
+	}
+	// Health scoreboard: 0 = default threshold, negative = disabled
+	// (kept negative so NewClient knows to build a disabled board).
+	if o.HealthThreshold == 0 {
+		o.HealthThreshold = 3
+	}
+	if o.HealthProbeAfter <= 0 {
+		o.HealthProbeAfter = 2 * time.Second
 	}
 	return o
 }
@@ -189,6 +260,11 @@ func (o Options) withDefaults() Options {
 type Client struct {
 	pool *pool.Pool
 	opts Options
+
+	// metrics collects the client-wide counters behind Metrics().
+	metrics metrics
+	// health is the per-host scoreboard reordering replica rings.
+	health *healthBoard
 
 	// cache is the shared block cache (nil when Options.CacheSize == 0).
 	cache *blockcache.Cache
@@ -204,7 +280,10 @@ func NewClient(opts Options) (*Client, error) {
 		return nil, errors.New("davix: Options.Dialer is required")
 	}
 	opts = opts.withDefaults()
-	c := &Client{pool: pool.New(opts.Dialer, opts.Pool), opts: opts}
+	c := &Client{opts: opts}
+	c.health = newHealthBoard(opts.HealthThreshold, opts.HealthProbeAfter)
+	// Every connection counts its wire bytes into the client metrics.
+	c.pool = pool.New(countingDialer{d: opts.Dialer, m: &c.metrics}, opts.Pool)
 	if opts.CacheSize > 0 {
 		bg, cancel := context.WithCancel(context.Background())
 		c.bgCancel = cancel
@@ -267,13 +346,7 @@ func (c *Client) invalidateCache(host, path string) uint64 {
 // uncached read.
 func (c *Client) cacheFetch(host, path string) blockcache.Fetch {
 	return func(ctx context.Context, off, length int64) ([]byte, error) {
-		var out []byte
-		err := c.withFailover(ctx, host, path, func(r Replica) error {
-			b, err := c.getRangeOnce(ctx, r.Host, r.Path, off, length)
-			out = b
-			return err
-		})
-		return out, err
+		return c.getRange(ctx, host, path, off, length)
 	}
 }
 
@@ -329,40 +402,52 @@ func (r *Response) ReadAllAndClose() ([]byte, error) {
 // Do executes req against host, borrowing a pooled connection. On a stale
 // recycled connection (write or header-read failure) the request is
 // retried once on a fresh connection, mirroring davix's session-recycling
-// robustness. The caller must Close the returned Response.
+// robustness; requests with bodies cannot be replayed here (the body is
+// partially consumed), which is why engine operations go through exec's
+// doHop instead, rebuilding the request per attempt. The caller must Close
+// the returned Response.
 func (c *Client) Do(ctx context.Context, host string, req *wire.Request) (*Response, error) {
 	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
-		conn, err := c.pool.Get(ctx, host)
-		if err != nil {
-			return nil, err
-		}
-		reused := conn.Uses() > 1
-
-		resp, err := c.roundTrip(ctx, conn, req)
+	for attempt := 0; ; attempt++ {
+		resp, reused, err := c.doOnce(ctx, host, req, host)
 		if err == nil {
-			return &Response{Response: resp, conn: conn, client: c}, nil
+			return resp, nil
 		}
-		c.pool.Discard(conn)
 		lastErr = err
-		// Only a reused connection justifies a transparent retry: the
-		// server may have closed it between requests. A fresh-connection
-		// failure is a real error. Requests with consumable bodies are
-		// retried too since Body is rewound by the caller per attempt —
-		// here only bodyless requests reach the retry path.
-		if !reused || req.Body != nil || ctx.Err() != nil {
-			break
+		if attempt > 0 || !reused || req.Body != nil || ctx.Err() != nil {
+			return nil, lastErr
 		}
+		// The replay is about to happen; count it only now.
+		c.metrics.retries.Add(1)
 	}
-	return nil, lastErr
+}
+
+// doOnce performs exactly one pooled round trip, reporting whether the
+// connection had been used before (the signal that justifies a transparent
+// replay). authHost scopes Bearer/Basic credentials: they are attached only
+// when the request targets that host, so a cross-host redirect hop never
+// leaks them to a neighbouring node.
+func (c *Client) doOnce(ctx context.Context, host string, req *wire.Request, authHost string) (*Response, bool, error) {
+	conn, err := c.pool.Get(ctx, host)
+	if err != nil {
+		return nil, false, err
+	}
+	reused := conn.Uses() > 1
+	resp, err := c.roundTrip(ctx, conn, req, authHost)
+	if err != nil {
+		c.pool.Discard(conn)
+		return nil, reused, err
+	}
+	return &Response{Response: resp, conn: conn, client: c}, reused, nil
 }
 
 // roundTrip writes req and reads the response header on conn.
-func (c *Client) roundTrip(ctx context.Context, conn *pool.Conn, req *wire.Request) (*wire.Response, error) {
+func (c *Client) roundTrip(ctx context.Context, conn *pool.Conn, req *wire.Request, authHost string) (*wire.Response, error) {
 	if err := c.applyDeadline(ctx, conn); err != nil {
 		return nil, err
 	}
-	c.prepare(req)
+	c.prepare(req, authHost)
+	c.metrics.requests.Add(1)
 	if err := req.Write(conn.NetConn()); err != nil {
 		return nil, fmt.Errorf("davix: write request: %w", err)
 	}
@@ -392,15 +477,20 @@ func (c *Client) applyDeadline(ctx context.Context, conn *pool.Conn) error {
 }
 
 // prepare stamps the standing headers (User-Agent, auth, S3 signature) on
-// req before it is written to a connection.
-func (c *Client) prepare(req *wire.Request) {
+// req before it is written to a connection. Bearer/Basic credentials are
+// attached only when the request targets authHost — the host the caller's
+// chain started at — so a cross-host redirect hop (head node bouncing to a
+// neighbouring disk node) never receives them. S3 requests are instead
+// signed fresh for every request: SigV4 covers the Host header, so each
+// hop gets a signature valid for its own host, never a replayable one.
+func (c *Client) prepare(req *wire.Request, authHost string) {
 	if req.Header == nil {
 		req.Header = wire.Header{}
 	}
 	if req.Header.Get("User-Agent") == "" {
 		req.Header.Set("User-Agent", c.opts.UserAgent)
 	}
-	if c.opts.Auth != nil && req.Header.Get("Authorization") == "" {
+	if c.opts.Auth != nil && req.Host == authHost && req.Header.Get("Authorization") == "" {
 		req.Header.Set("Authorization", c.opts.Auth.header())
 	}
 	if c.opts.S3 != nil {
@@ -422,18 +512,24 @@ func (c *Client) GetMetalink(ctx context.Context, host, path string) (*metalink.
 	if c.opts.MetalinkHost != "" {
 		target = c.opts.MetalinkHost
 	}
-	req := wire.NewRequest("GET", target, path)
-	req.Header.Set("Accept", metalink.MediaType)
-	resp, err := c.Do(ctx, target, req)
+	var ml *metalink.Metalink
+	err := c.exec(ctx, target, path, specMetalink, func(h, p string) *wire.Request {
+		req := wire.NewRequest("GET", h, p)
+		req.Header.Set("Accept", metalink.MediaType)
+		return req
+	}, func(_ Replica, resp *Response) error {
+		if resp.StatusCode != 200 {
+			return statusErr(resp, "GET(metalink)", path)
+		}
+		body, err := resp.ReadAllAndClose()
+		if err != nil {
+			return err
+		}
+		ml, err = metalink.Decode(body)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	if resp.StatusCode != 200 {
-		return nil, statusErr(resp, "GET(metalink)", path)
-	}
-	body, err := resp.ReadAllAndClose()
-	if err != nil {
-		return nil, err
-	}
-	return metalink.Decode(body)
+	return ml, nil
 }

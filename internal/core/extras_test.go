@@ -87,11 +87,15 @@ func TestRedirectFollowedForPutAndRanges(t *testing.T) {
 
 func TestRedirectLoopDetected(t *testing.T) {
 	e := newEnv(t, Options{Strategy: StrategyNone, MaxRedirects: 3})
-	// head redirects to itself forever.
+	// head redirects to itself forever: detected on the first revisit, not
+	// after burning the whole MaxRedirects budget.
 	startHeadNode(t, e, "loop:80", "loop:80")
 	_, err := e.client.Get(context.Background(), "loop:80", "/pool/f")
-	if !errors.Is(err, ErrTooManyRedirects) {
+	if !errors.Is(err, ErrRedirectLoop) {
 		t.Fatalf("err = %v", err)
+	}
+	if got := e.srvs["loop:80"].Requests(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (fail fast on the cycle)", got)
 	}
 }
 

@@ -75,12 +75,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		}
 		n = m
 	} else {
-		var got []byte
-		err := f.client.withFailover(f.ctx, f.host, f.path, func(r Replica) error {
-			var err error
-			got, err = f.client.getRangeOnce(f.ctx, r.Host, r.Path, off, want)
-			return err
-		})
+		got, err := f.client.getRange(f.ctx, f.host, f.path, off, want)
 		if err != nil {
 			return 0, err
 		}

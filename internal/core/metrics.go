@@ -1,0 +1,198 @@
+package core
+
+import (
+	"context"
+	"math/bits"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"godavix/internal/pool"
+)
+
+// Metrics is a point-in-time snapshot of what the client has actually done
+// on the wire: how many requests it issued, how often the resilience layers
+// fired (retries, redirects, replica failovers, breaker trips), how many
+// bytes moved, and how long each kind of operation took. Collected with
+// plain atomics — snapshotting is safe (and cheap) while operations are in
+// flight on other goroutines.
+type Metrics struct {
+	// Requests counts HTTP requests written to a connection. Redirect
+	// hops, retry attempts and failover attempts each count: this is wire
+	// traffic, not caller-level operations (see Ops for those).
+	Requests int64
+	// Retries counts extra attempts at the same target: transparent
+	// stale-recycled-connection replays plus RetryPolicy backoff retries.
+	Retries int64
+	// Redirects counts followed 3xx hops.
+	Redirects int64
+	// Failovers counts switches to an alternate Metalink replica after
+	// the preferred one failed or was breaker-skipped.
+	Failovers int64
+	// BreakerTrips counts per-host health-scoreboard demotions
+	// (consecutive-failure threshold reached, host enters cooldown).
+	BreakerTrips int64
+	// BytesUp and BytesDown are wire bytes written/read across every
+	// pooled connection, headers included.
+	BytesUp   int64
+	BytesDown int64
+	// Ops maps an operation label ("GET", "PUT(range)", "PROPFIND", ...)
+	// to its latency distribution as experienced by the caller: one entry
+	// per engine execution, retries and failover included.
+	Ops map[string]OpStats
+}
+
+// OpStats summarizes one operation's caller-observed latency.
+type OpStats struct {
+	// Count is how many executions were recorded.
+	Count int64
+	// P50, P90 and P99 are latency quantiles, accurate to the histogram's
+	// power-of-two bucket (each quantile is the upper bound of the bucket
+	// the rank falls in).
+	P50, P90, P99 time.Duration
+}
+
+// latBuckets spans 1µs to ~2.3h in power-of-two steps.
+const latBuckets = 34
+
+// opHist is a lock-free log2 latency histogram for one operation label.
+// The sample count is the bucket sum — kept single-sourced so a snapshot
+// taken mid-observe can never see a count/bucket mismatch.
+type opHist struct {
+	buckets [latBuckets]atomic.Int64
+}
+
+// bucketFor maps a duration to its log2-microsecond bucket.
+func bucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(us))
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	return b
+}
+
+// bucketCeil is the upper latency bound of bucket b.
+func bucketCeil(b int) time.Duration {
+	return time.Duration(int64(1)<<uint(b)) * time.Microsecond
+}
+
+// quantile returns the latency below which fraction q of the recorded
+// samples fall, to bucket resolution. counts is a coherent-enough copy.
+func quantile(counts []int64, total int64, q float64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b, n := range counts {
+		cum += n
+		if cum >= rank {
+			return bucketCeil(b)
+		}
+	}
+	return bucketCeil(latBuckets - 1)
+}
+
+// metrics is the collector behind Client.Metrics. Every mutation is a
+// single atomic add — the healthy path pays a handful of uncontended
+// atomics per operation and nothing else.
+type metrics struct {
+	requests, retries, redirects, failovers, breakerTrips atomic.Int64
+	bytesUp, bytesDown                                    atomic.Int64
+	ops                                                   sync.Map // string -> *opHist
+}
+
+// histFor returns (allocating once) the histogram for op.
+func (m *metrics) histFor(op string) *opHist {
+	if h, ok := m.ops.Load(op); ok {
+		return h.(*opHist)
+	}
+	h, _ := m.ops.LoadOrStore(op, &opHist{})
+	return h.(*opHist)
+}
+
+// observe records one completed execution of op.
+func (m *metrics) observe(op string, d time.Duration) {
+	m.histFor(op).buckets[bucketFor(d)].Add(1)
+}
+
+// snapshot renders the public view.
+func (m *metrics) snapshot() Metrics {
+	s := Metrics{
+		Requests:     m.requests.Load(),
+		Retries:      m.retries.Load(),
+		Redirects:    m.redirects.Load(),
+		Failovers:    m.failovers.Load(),
+		BreakerTrips: m.breakerTrips.Load(),
+		BytesUp:      m.bytesUp.Load(),
+		BytesDown:    m.bytesDown.Load(),
+		Ops:          map[string]OpStats{},
+	}
+	m.ops.Range(func(k, v any) bool {
+		h := v.(*opHist)
+		counts := make([]int64, latBuckets)
+		var total int64
+		for b := range h.buckets {
+			n := h.buckets[b].Load()
+			counts[b] = n
+			total += n
+		}
+		s.Ops[k.(string)] = OpStats{
+			Count: total,
+			P50:   quantile(counts, total, 0.50),
+			P90:   quantile(counts, total, 0.90),
+			P99:   quantile(counts, total, 0.99),
+		}
+		return true
+	})
+	return s
+}
+
+// Metrics snapshots the client-wide counters and per-op latency quantiles.
+// Safe to call concurrently with in-flight operations.
+func (c *Client) Metrics() Metrics { return c.metrics.snapshot() }
+
+// countingDialer wraps the user's Dialer so every connection reports its
+// wire bytes (headers included) to the client metrics.
+type countingDialer struct {
+	d pool.Dialer
+	m *metrics
+}
+
+func (cd countingDialer) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	conn, err := cd.d.DialContext(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &countingConn{Conn: conn, m: cd.m}, nil
+}
+
+// countingConn charges reads and writes to BytesDown/BytesUp.
+type countingConn struct {
+	net.Conn
+	m *metrics
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.m.bytesDown.Add(int64(n))
+	}
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.m.bytesUp.Add(int64(n))
+	}
+	return n, err
+}

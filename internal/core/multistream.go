@@ -28,9 +28,10 @@ func (c *Client) downloadFromMetalink(ctx context.Context, ml *metalink.Metalink
 
 	size := ml.Size
 	if size < 0 {
-		// Metalink without size: stat any live replica.
+		// Metalink without size: stat any live replica, preferring ones
+		// the health scoreboard has not demoted.
 		var err error
-		for _, r := range replicas {
+		for _, r := range c.health.order(replicas) {
 			var inf Info
 			if inf, err = c.Stat(ctx, r.Host, r.Path); err == nil {
 				size = inf.Size

@@ -36,41 +36,30 @@ func (c *Client) Get(ctx context.Context, host, path string) ([]byte, error) {
 		gen = c.cache.Generation()
 	}
 	var out []byte
-	err := c.withFailover(ctx, host, path, func(r Replica) error {
-		b, err := c.getOnce(ctx, r.Host, r.Path)
-		out = b
-		return err
+	err := c.exec(ctx, host, path, specGet, func(h, p string) *wire.Request {
+		return wire.NewRequest("GET", h, p)
+	}, func(_ Replica, resp *Response) error {
+		if resp.StatusCode != 200 {
+			return statusErr(resp, "GET", path)
+		}
+		want := resp.Header.Get("X-Checksum")
+		body, err := resp.ReadAllAndClose()
+		if err != nil {
+			return err
+		}
+		if c.opts.VerifyChecksums && want != "" {
+			if err := verifyChecksum(body, want, path); err != nil {
+				return err
+			}
+		}
+		out = body
+		return nil
 	})
 	if err == nil && c.cache != nil {
 		// A full-object GET covers every block, trailing partial included.
 		c.cache.PutSpan(cacheKey(host, path), gen, 0, out, true)
 	}
 	return out, err
-}
-
-// getOnce fetches the whole object from exactly one replica, following
-// head-node redirects and (optionally) verifying the server checksum.
-func (c *Client) getOnce(ctx context.Context, host, path string) ([]byte, error) {
-	resp, err := c.doFollow(ctx, host, path, func(h, p string) *wire.Request {
-		return wire.NewRequest("GET", h, p)
-	})
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != 200 {
-		return nil, statusErr(resp, "GET", path)
-	}
-	want := resp.Header.Get("X-Checksum")
-	body, err := resp.ReadAllAndClose()
-	if err != nil {
-		return nil, err
-	}
-	if c.opts.VerifyChecksums && want != "" {
-		if err := verifyChecksum(body, want, path); err != nil {
-			return nil, err
-		}
-	}
-	return body, nil
 }
 
 // GetRange fetches length bytes at offset off with replica failover. With
@@ -81,13 +70,7 @@ func (c *Client) GetRange(ctx context.Context, host, path string, off, length in
 	if c.cache != nil {
 		return c.getRangeCached(ctx, host, path, off, length)
 	}
-	var out []byte
-	err := c.withFailover(ctx, host, path, func(r Replica) error {
-		b, err := c.getRangeOnce(ctx, r.Host, r.Path, off, length)
-		out = b
-		return err
-	})
-	return out, err
+	return c.getRange(ctx, host, path, off, length)
 }
 
 // getRangeCached serves GetRange through the block cache. The object size
@@ -117,94 +100,109 @@ func (c *Client) getRangeCached(ctx context.Context, host, path string, off, len
 	return p[:n], nil
 }
 
-// getRangeOnce fetches one range from exactly one replica using a single
-// Range request. Servers ignoring Range (status 200) are handled by
-// slicing the full body.
-func (c *Client) getRangeOnce(ctx context.Context, host, path string, off, length int64) ([]byte, error) {
+// getRange fetches one range through the engine (redirects, retry budget
+// and replica failover all apply). Servers ignoring Range (status 200) are
+// handled by slicing the full body.
+func (c *Client) getRange(ctx context.Context, host, path string, off, length int64) ([]byte, error) {
 	rangeVal := "bytes=" + strconv.FormatInt(off, 10) + "-" + strconv.FormatInt(off+length-1, 10)
-	resp, err := c.doFollow(ctx, host, path, func(h, p string) *wire.Request {
+	var out []byte
+	err := c.exec(ctx, host, path, specRange, func(h, p string) *wire.Request {
 		req := wire.NewRequest("GET", h, p)
 		req.Header.Set("Range", rangeVal)
 		return req
+	}, func(_ Replica, resp *Response) error {
+		switch resp.StatusCode {
+		case 206:
+			b, err := resp.ReadAllAndClose()
+			out = b
+			return err
+		case 200:
+			// Range-ignorant server: take the slice out of the full body.
+			body, err := resp.ReadAllAndClose()
+			if err != nil {
+				return err
+			}
+			if off >= int64(len(body)) {
+				return &StatusError{Code: 416, Status: "416 Requested Range Not Satisfiable", Method: "GET", Path: path}
+			}
+			end := off + length
+			if end > int64(len(body)) {
+				end = int64(len(body))
+			}
+			out = body[off:end]
+			return nil
+		default:
+			return statusErr(resp, "GET", path)
+		}
 	})
 	if err != nil {
 		return nil, err
 	}
-	switch resp.StatusCode {
-	case 206:
-		return resp.ReadAllAndClose()
-	case 200:
-		// Range-ignorant server: take the slice out of the full body.
-		body, err := resp.ReadAllAndClose()
-		if err != nil {
-			return nil, err
-		}
-		if off >= int64(len(body)) {
-			return nil, &StatusError{Code: 416, Status: "416 Requested Range Not Satisfiable", Method: "GET", Path: path}
-		}
-		end := off + length
-		if end > int64(len(body)) {
-			end = int64(len(body))
-		}
-		return body[off:end], nil
-	default:
-		return nil, statusErr(resp, "GET", path)
-	}
+	return out, nil
 }
 
 // getRangeInto fetches len(dst) bytes at offset off from exactly one
 // replica, reading the response body directly into dst — no intermediate
 // allocation or copy, which is what keeps the multi-stream download loop
-// allocation-free per chunk. Returns the byte count delivered; like a
-// clamping server it may be short when the object ends inside the request.
+// allocation-free per chunk. Replica selection belongs to the caller
+// (readChunkReplicas walks the health-ordered ring), so the engine applies
+// redirects and the retry budget but no failover here. Returns the byte
+// count delivered; like a clamping server it may be short when the object
+// ends inside the request.
 func (c *Client) getRangeInto(ctx context.Context, host, path string, off int64, dst []byte) (int, error) {
 	rangeVal := "bytes=" + strconv.FormatInt(off, 10) + "-" + strconv.FormatInt(off+int64(len(dst))-1, 10)
-	resp, err := c.doFollow(ctx, host, path, func(h, p string) *wire.Request {
+	var n int
+	err := c.exec(ctx, host, path, specChunk, func(h, p string) *wire.Request {
 		req := wire.NewRequest("GET", h, p)
 		req.Header.Set("Range", rangeVal)
 		return req
+	}, func(_ Replica, resp *Response) error {
+		n = 0
+		switch resp.StatusCode {
+		case 206:
+			m, err := io.ReadFull(resp.Body, dst)
+			if err == io.ErrUnexpectedEOF {
+				// The server clamped the range at end of object.
+				err = nil
+			}
+			cerr := resp.Close()
+			if err == nil {
+				err = cerr
+			}
+			n = m
+			return err
+		case 200:
+			// Range-ignorant server: skip the prefix, read the slice.
+			if _, err := io.CopyN(io.Discard, resp.Body, off); err != nil {
+				resp.Close()
+				if err == io.EOF {
+					return &StatusError{Code: 416, Status: "416 Requested Range Not Satisfiable", Method: "GET", Path: path}
+				}
+				return err
+			}
+			m, err := io.ReadFull(resp.Body, dst)
+			if err == io.ErrUnexpectedEOF || err == io.EOF {
+				err = nil
+			}
+			cerr := resp.Close()
+			if err == nil {
+				err = cerr
+			}
+			if err == nil && m == 0 && len(dst) > 0 {
+				// The whole request sits past end of object; match the 416 a
+				// range-honouring server would have sent.
+				return &StatusError{Code: 416, Status: "416 Requested Range Not Satisfiable", Method: "GET", Path: path}
+			}
+			n = m
+			return err
+		default:
+			return statusErr(resp, "GET", path)
+		}
 	})
 	if err != nil {
 		return 0, err
 	}
-	switch resp.StatusCode {
-	case 206:
-		n, err := io.ReadFull(resp.Body, dst)
-		if err == io.ErrUnexpectedEOF {
-			// The server clamped the range at end of object.
-			err = nil
-		}
-		cerr := resp.Close()
-		if err == nil {
-			err = cerr
-		}
-		return n, err
-	case 200:
-		// Range-ignorant server: skip the prefix, read the slice.
-		if _, err := io.CopyN(io.Discard, resp.Body, off); err != nil {
-			resp.Close()
-			if err == io.EOF {
-				return 0, &StatusError{Code: 416, Status: "416 Requested Range Not Satisfiable", Method: "GET", Path: path}
-			}
-			return 0, err
-		}
-		n, err := io.ReadFull(resp.Body, dst)
-		if err == io.ErrUnexpectedEOF || err == io.EOF {
-			err = nil
-		}
-		cerr := resp.Close()
-		if err == nil {
-			err = cerr
-		}
-		if err == nil && n == 0 && len(dst) > 0 {
-			// The whole request sits past end of object; match the 416 a
-			// range-honouring server would have sent.
-			return 0, &StatusError{Code: 416, Status: "416 Requested Range Not Satisfiable", Method: "GET", Path: path}
-		}
-		return n, err
-	default:
-		return 0, statusErr(resp, "GET", path)
-	}
+	return n, nil
 }
 
 // Put stores data at host/path, following head-node redirects to the
@@ -213,22 +211,23 @@ func (c *Client) getRangeInto(ctx context.Context, host, path string, off int64,
 // uploaded bytes are written through to the block cache: this client just
 // defined the object's content, so a put-then-read costs no round trip.
 func (c *Client) Put(ctx context.Context, host, path string, data []byte) error {
-	resp, err := c.doFollow(ctx, host, path, func(h, p string) *wire.Request {
+	var gen uint64
+	err := c.exec(ctx, host, path, specPut, func(h, p string) *wire.Request {
 		req := wire.NewRequest("PUT", h, p)
 		req.SetBodyBytes(data)
 		return req
-	})
-	if err != nil {
+	}, func(_ Replica, resp *Response) error {
+		// The writer holds the uploaded bytes, so the primed stat entry can
+		// carry their WLCG-style checksum too — but only a live stat cache
+		// makes the O(size) hash worth paying.
+		checksum := ""
+		if c.statc != nil {
+			checksum = fmt.Sprintf("adler32:%08x", adler32.Checksum(data))
+		}
+		g, err := c.finishPut(resp, host, path, int64(len(data)), checksum)
+		gen = g
 		return err
-	}
-	// The writer holds the uploaded bytes, so the primed stat entry can
-	// carry their WLCG-style checksum too — but only a live stat cache
-	// makes the O(size) hash worth paying.
-	checksum := ""
-	if c.statc != nil {
-		checksum = fmt.Sprintf("adler32:%08x", adler32.Checksum(data))
-	}
-	gen, err := c.finishPut(resp, host, path, int64(len(data)), checksum)
+	})
 	if err != nil {
 		return err
 	}
@@ -243,15 +242,16 @@ func (c *Client) Put(ctx context.Context, host, path string, data []byte) error 
 
 // Delete removes the object at host/path.
 func (c *Client) Delete(ctx context.Context, host, path string) error {
-	req := wire.NewRequest("DELETE", host, path)
-	resp, err := c.Do(ctx, host, req)
-	if err != nil {
+	err := c.exec(ctx, host, path, specDelete, func(h, p string) *wire.Request {
+		return wire.NewRequest("DELETE", h, p)
+	}, func(_ Replica, resp *Response) error {
+		if resp.StatusCode/100 != 2 {
+			return statusErr(resp, "DELETE", path)
+		}
+		_, err := resp.ReadAllAndClose()
 		return err
-	}
-	if resp.StatusCode/100 != 2 {
-		return statusErr(resp, "DELETE", path)
-	}
-	if _, err := resp.ReadAllAndClose(); err != nil {
+	})
+	if err != nil {
 		return err
 	}
 	c.invalidateCache(host, path)
@@ -260,15 +260,16 @@ func (c *Client) Delete(ctx context.Context, host, path string) error {
 
 // Mkdir creates a WebDAV collection at host/path.
 func (c *Client) Mkdir(ctx context.Context, host, path string) error {
-	req := wire.NewRequest("MKCOL", host, path)
-	resp, err := c.Do(ctx, host, req)
-	if err != nil {
+	err := c.exec(ctx, host, path, specMkcol, func(h, p string) *wire.Request {
+		return wire.NewRequest("MKCOL", h, p)
+	}, func(_ Replica, resp *Response) error {
+		if resp.StatusCode/100 != 2 {
+			return statusErr(resp, "MKCOL", path)
+		}
+		_, err := resp.ReadAllAndClose()
 		return err
-	}
-	if resp.StatusCode/100 != 2 {
-		return statusErr(resp, "MKCOL", path)
-	}
-	if _, err := resp.ReadAllAndClose(); err != nil {
+	})
+	if err != nil {
 		return err
 	}
 	// A fresh collection must not keep answering from a negative entry.
@@ -280,16 +281,18 @@ func (c *Client) Mkdir(ctx context.Context, host, path string) error {
 // third-party copy, the WLCG HTTP-TPC push pattern): the data flows
 // directly between the two storage servers, never through this client.
 func (c *Client) Copy(ctx context.Context, srcHost, srcPath, destURL string) error {
-	req := wire.NewRequest("COPY", srcHost, srcPath)
-	req.Header.Set("Destination", destURL)
-	resp, err := c.Do(ctx, srcHost, req)
-	if err != nil {
+	err := c.exec(ctx, srcHost, srcPath, specCopy, func(h, p string) *wire.Request {
+		req := wire.NewRequest("COPY", h, p)
+		req.Header.Set("Destination", destURL)
+		return req
+	}, func(_ Replica, resp *Response) error {
+		if resp.StatusCode/100 != 2 {
+			return statusErr(resp, "COPY", srcPath)
+		}
+		_, err := resp.ReadAllAndClose()
 		return err
-	}
-	if resp.StatusCode/100 != 2 {
-		return statusErr(resp, "COPY", srcPath)
-	}
-	if _, err = resp.ReadAllAndClose(); err != nil {
+	})
+	if err != nil {
 		return err
 	}
 	// The destination now holds different content: drop this client's
@@ -325,30 +328,45 @@ func (c *Client) Stat(ctx context.Context, host, path string) (Info, error) {
 
 // statUncached performs the network Stat.
 func (c *Client) statUncached(ctx context.Context, host, path string) (Info, error) {
-	resp, err := c.doFollow(ctx, host, path, func(h, p string) *wire.Request {
+	var inf Info
+	tryPropfind := false
+	err := c.exec(ctx, host, path, specHead, func(h, p string) *wire.Request {
 		return wire.NewRequest("HEAD", h, p)
+	}, func(_ Replica, resp *Response) error {
+		tryPropfind = false
+		if resp.StatusCode != 200 {
+			status := resp.Status
+			code := resp.StatusCode
+			resp.Close()
+			if code == 404 {
+				return &StatusError{Code: 404, Status: status, Method: "HEAD", Path: path}
+			}
+			// Collections on some servers refuse HEAD (and some frontends
+			// 5xx it while PROPFIND works fine): fall back rather than
+			// surface the status. Retryable statuses were already charged
+			// to the health scoreboard by the engine; the PROPFIND gets
+			// its own retry budget.
+			tryPropfind = true
+			return nil
+		}
+		inf = Info{Path: path, Checksum: resp.Header.Get("X-Checksum")}
+		if cl := resp.Header.Get("Content-Length"); cl != "" {
+			inf.Size, _ = strconv.ParseInt(cl, 10, 64)
+		}
+		if lm := resp.Header.Get("Last-Modified"); lm != "" {
+			if t, err := time.Parse(time.RFC1123, lm); err == nil {
+				inf.ModTime = t
+			}
+		}
+		resp.Close()
+		return nil
 	})
 	if err != nil {
 		return Info{}, err
 	}
-	if resp.StatusCode != 200 {
-		resp.Close()
-		// Collections on some servers refuse HEAD; try PROPFIND.
-		if resp.StatusCode == 404 {
-			return Info{}, &StatusError{Code: 404, Status: resp.Status, Method: "HEAD", Path: path}
-		}
+	if tryPropfind {
 		return c.statPropfind(ctx, host, path)
 	}
-	inf := Info{Path: path, Checksum: resp.Header.Get("X-Checksum")}
-	if cl := resp.Header.Get("Content-Length"); cl != "" {
-		inf.Size, _ = strconv.ParseInt(cl, 10, 64)
-	}
-	if lm := resp.Header.Get("Last-Modified"); lm != "" {
-		if t, err := time.Parse(time.RFC1123, lm); err == nil {
-			inf.ModTime = t
-		}
-	}
-	resp.Close()
 	return inf, nil
 }
 
@@ -391,31 +409,38 @@ func (c *Client) List(ctx context.Context, host, path string) ([]Info, error) {
 }
 
 func (c *Client) propfind(ctx context.Context, host, path, depth string) ([]webdav.Entry, error) {
-	req := wire.NewRequest("PROPFIND", host, path)
-	req.Header.Set("Depth", depth)
-	resp, err := c.Do(ctx, host, req)
+	var entries []webdav.Entry
+	err := c.exec(ctx, host, path, specPropfind, func(h, p string) *wire.Request {
+		req := wire.NewRequest("PROPFIND", h, p)
+		req.Header.Set("Depth", depth)
+		return req
+	}, func(_ Replica, resp *Response) error {
+		if resp.StatusCode != 207 {
+			return statusErr(resp, "PROPFIND", path)
+		}
+		if c.opts.LegacyPropfindDecode {
+			body, err := resp.ReadAllAndClose()
+			if err != nil {
+				return err
+			}
+			entries, err = webdav.DecodeMultistatus(body)
+			return err
+		}
+		// Stream the multistatus document straight off the wire body: large
+		// directory listings are decoded without materializing the XML.
+		es, err := webdav.DecodeMultistatusStream(resp.Body)
+		cerr := resp.Close()
+		if err != nil {
+			return fmt.Errorf("davix: PROPFIND %s: %w", path, err)
+		}
+		if cerr != nil {
+			return cerr
+		}
+		entries = es
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	if resp.StatusCode != 207 {
-		return nil, statusErr(resp, "PROPFIND", path)
-	}
-	if c.opts.LegacyPropfindDecode {
-		body, err := resp.ReadAllAndClose()
-		if err != nil {
-			return nil, err
-		}
-		return webdav.DecodeMultistatus(body)
-	}
-	// Stream the multistatus document straight off the wire body: large
-	// directory listings are decoded without materializing the XML.
-	entries, err := webdav.DecodeMultistatusStream(resp.Body)
-	cerr := resp.Close()
-	if err != nil {
-		return nil, fmt.Errorf("davix: PROPFIND %s: %w", path, err)
-	}
-	if cerr != nil {
-		return nil, cerr
 	}
 	return entries, nil
 }

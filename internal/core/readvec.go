@@ -180,16 +180,22 @@ func (c *Client) readVecParallel(ctx context.Context, host, path string, frames 
 }
 
 // readVecBatch executes one multi-range request for a batch of frames.
+// Failover stays at the ReadVec level (the whole vectored read moves to the
+// next replica together), so the engine applies redirects and the retry
+// budget only.
 func (c *Client) readVecBatch(ctx context.Context, host, path string, frames []rangev.Frame, ranges []rangev.Range, dsts [][]byte) error {
-	resp, err := c.doFollow(ctx, host, path, func(h, p string) *wire.Request {
+	return c.exec(ctx, host, path, specVector, func(h, p string) *wire.Request {
 		req := wire.NewRequest("GET", h, p)
 		req.Header.Set("Range", rangev.RangeHeader(frames))
 		return req
+	}, func(_ Replica, resp *Response) error {
+		return c.scatterVecResponse(resp, path, frames, ranges, dsts)
 	})
-	if err != nil {
-		return err
-	}
+}
 
+// scatterVecResponse consumes one multi-range response, scattering the
+// payload into dsts.
+func (c *Client) scatterVecResponse(resp *Response, path string, frames []rangev.Frame, ranges []rangev.Range, dsts [][]byte) error {
 	switch resp.StatusCode {
 	case 206:
 		if boundary, ok := rangev.IsMultipartByteranges(resp.Header.Get("Content-Type")); ok {

@@ -13,20 +13,52 @@ import (
 // readChunkReplicas fetches [off, off+len(dst)) into dst, spreading load by
 // starting at replica idx mod len(replicas) and walking the ring on
 // unavailability, so one dead replica costs one retry per chunk rather than
-// the whole transfer.
+// the whole transfer. The ring is health-ordered first and replicas whose
+// breaker is open are skipped while alternatives exist — once the
+// scoreboard has demoted a dead disk node, later chunks stop paying its
+// timeout at all (a half-open probe re-admits it when it recovers).
 func (c *Client) readChunkReplicas(ctx context.Context, replicas []Replica, idx int, off int64, dst []byte) error {
-	var lastErr error
-	for attempt := 0; attempt < len(replicas); attempt++ {
-		rep := replicas[(idx+attempt)%len(replicas)]
+	// tryOne returns (done, err): done means the walk must stop — success,
+	// caller cancellation, or a semantic failure every replica reproduces.
+	tryOne := func(rep Replica) (bool, error) {
 		n, err := c.getRangeInto(ctx, rep.Host, rep.Path, off, dst)
 		if err == nil && n == len(dst) {
-			return nil
+			return true, nil
 		}
 		if err == nil {
 			err = fmt.Errorf("davix: short chunk from %s: %d < %d", rep.Host, n, len(dst))
 		}
+		return ctx.Err() != nil || !replicaUnavailable(err), err
+	}
+
+	ring := c.health.order(replicas)
+	var lastErr error
+	var skipped []Replica
+	for attempt := 0; attempt < len(ring); attempt++ {
+		rep := ring[(idx+attempt)%len(ring)]
+		if len(ring) > 1 && !c.health.acquire(rep.Host) {
+			skipped = append(skipped, rep)
+			continue
+		}
+		done, err := tryOne(rep)
+		if done && err == nil {
+			return nil
+		}
 		lastErr = err
-		if ctx.Err() != nil || !replicaUnavailable(err) {
+		if done {
+			return errors.Join(ErrAllReplicasFailed, lastErr)
+		}
+	}
+	// Last resort: the breaker-skipped replicas, in ring order — the
+	// scoreboard must never make a chunk impossible when everything it
+	// preferred has failed too.
+	for _, rep := range skipped {
+		done, err := tryOne(rep)
+		if done && err == nil {
+			return nil
+		}
+		lastErr = err
+		if done {
 			break
 		}
 	}
@@ -75,7 +107,7 @@ func (c *Client) DownloadMultiStreamTo(ctx context.Context, host, path string, w
 	if size < 0 {
 		var inf Info
 		var err error
-		for _, r := range replicas {
+		for _, r := range c.health.order(replicas) {
 			if inf, err = c.Stat(ctx, r.Host, r.Path); err == nil {
 				break
 			}

@@ -15,7 +15,6 @@ import (
 	"time"
 
 	"godavix/internal/bufpool"
-	"godavix/internal/metalink"
 	"godavix/internal/pool"
 	"godavix/internal/wire"
 )
@@ -128,22 +127,30 @@ func (c *Client) PutReader(ctx context.Context, host, path string, r io.Reader, 
 }
 
 // putStream drives the Expect: 100-continue upload across redirect hops.
+// The interim-verdict flow cannot ride exec (the body must be held back
+// until the server speaks), so the chain applies the same hop policies
+// itself: hop cap, loop detection, per-hop health recording, and — via
+// prepare's authHost scoping — no credential forwarding to cross-host hops.
 func (c *Client) putStream(ctx context.Context, host, path string, body io.Reader, size int64) (*Response, error) {
-	for hop := 0; hop <= c.opts.MaxRedirects; hop++ {
-		resp, redirect, err := c.putStreamOnce(ctx, host, path, body, size)
+	start := time.Now()
+	defer func() { c.metrics.observe("PUT(stream)", time.Since(start)) }()
+	origin := host
+	tracker := hopTracker{max: c.opts.MaxRedirects}
+	for {
+		resp, redirect, err := c.putStreamOnce(ctx, origin, host, path, body, size)
+		c.recordHealth(host, err)
 		if err != nil {
 			return nil, err
 		}
 		if redirect == "" {
 			return resp, nil
 		}
-		h, p, err := metalink.SplitURL(redirect)
+		c.metrics.redirects.Add(1)
+		host, path, err = tracker.follow(host, path, redirect)
 		if err != nil {
-			return nil, fmt.Errorf("davix: bad redirect Location %q: %w", redirect, err)
+			return nil, err
 		}
-		host, path = h, p
 	}
-	return nil, fmt.Errorf("%w (> %d hops)", ErrTooManyRedirects, c.opts.MaxRedirects)
 }
 
 // putStreamOnce performs one hop of a streaming PUT: headers first, then —
@@ -153,7 +160,8 @@ func (c *Client) putStream(ctx context.Context, host, path string, body io.Reade
 // the caller can replay it against the next target; an immediate final
 // 2xx (a server accepting without the body) is returned as the response.
 // The returned redirect is the Location of a 3xx interim verdict.
-func (c *Client) putStreamOnce(ctx context.Context, host, path string, body io.Reader, size int64) (*Response, string, error) {
+// originHost scopes Bearer/Basic credentials to the chain's first host.
+func (c *Client) putStreamOnce(ctx context.Context, originHost, host, path string, body io.Reader, size int64) (*Response, string, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		conn, err := c.pool.Get(ctx, host)
@@ -166,7 +174,8 @@ func (c *Client) putStreamOnce(ctx context.Context, host, path string, body io.R
 		req.Body = body
 		req.ContentLength = size
 		req.Header.Set("Expect", "100-continue")
-		c.prepare(req)
+		c.prepare(req, originHost)
+		c.metrics.requests.Add(1)
 		if err := c.applyDeadline(ctx, conn); err != nil {
 			c.pool.Discard(conn)
 			return nil, "", err
@@ -189,9 +198,11 @@ func (c *Client) putStreamOnce(ctx context.Context, host, path string, body io.R
 			lastErr = fmt.Errorf("davix: streaming PUT: %w", err)
 			// The body has not been touched, so a stale recycled
 			// connection justifies one transparent retry, like Do.
-			if !reused || ctx.Err() != nil {
+			if attempt > 0 || !reused || ctx.Err() != nil {
 				break
 			}
+			// The replay is about to happen; count it only now.
+			c.metrics.retries.Add(1)
 			continue
 		}
 
@@ -415,17 +426,15 @@ func sameAlgo(a, b string) bool {
 // one connection, Content-Length framing — byte-identical on the wire to
 // Put, and replayable across redirect hops because the source is seekable.
 func (c *Client) putSerial(ctx context.Context, host, path string, src io.ReaderAt, size int64) error {
-	resp, err := c.doFollow(ctx, host, path, func(h, p string) *wire.Request {
+	return c.exec(ctx, host, path, specPut, func(h, p string) *wire.Request {
 		req := wire.NewRequest("PUT", h, p)
 		req.Body = io.NewSectionReader(src, 0, size)
 		req.ContentLength = size
 		return req
-	})
-	if err != nil {
+	}, func(_ Replica, resp *Response) error {
+		_, err := c.finishPut(resp, host, path, size, "")
 		return err
-	}
-	_, err = c.finishPut(resp, host, path, size, "")
-	return err
+	})
 }
 
 // rangedPutResult reports one Content-Range PUT: the redirect-resolved
@@ -443,7 +452,8 @@ type rangedPutResult struct {
 // uploads to one path in separate assemblies.
 func (c *Client) putRanged(ctx context.Context, host, path string, data []byte, off, total int64, uploadID string) (rangedPutResult, error) {
 	cr := fmt.Sprintf("bytes %d-%d/%d", off, off+int64(len(data))-1, total)
-	resp, rHost, rPath, err := c.doFollowAt(ctx, host, path, func(h, p string) *wire.Request {
+	var res rangedPutResult
+	err := c.exec(ctx, host, path, specPutRange, func(h, p string) *wire.Request {
 		req := wire.NewRequest("PUT", h, p)
 		req.Header.Set("Content-Range", cr)
 		if uploadID != "" {
@@ -451,18 +461,23 @@ func (c *Client) putRanged(ctx context.Context, host, path string, data []byte, 
 		}
 		req.SetBodyBytes(data)
 		return req
+	}, func(landed Replica, resp *Response) error {
+		if resp.StatusCode/100 != 2 {
+			return statusErr(resp, "PUT", path)
+		}
+		created := resp.StatusCode == 201
+		if _, err := resp.ReadAllAndClose(); err != nil {
+			return err
+		}
+		// The redirect-resolved target lets sibling chunks go straight to
+		// the disk node the head node designated.
+		res = rangedPutResult{host: landed.Host, path: landed.Path, created: created}
+		return nil
 	})
 	if err != nil {
 		return rangedPutResult{}, err
 	}
-	if resp.StatusCode/100 != 2 {
-		return rangedPutResult{}, statusErr(resp, "PUT", path)
-	}
-	created := resp.StatusCode == 201
-	if _, err := resp.ReadAllAndClose(); err != nil {
-		return rangedPutResult{}, err
-	}
-	return rangedPutResult{host: rHost, path: rPath, created: created}, nil
+	return res, nil
 }
 
 // rangedPutUnsupported classifies err as "this server does not implement
