@@ -12,6 +12,7 @@
 //	davix-get -mkdir http://host:8080/newdir
 //	davix-get -rm    http://host:8080/store/f
 //	davix-get -multistream -metalink-host fed:80 http://host:8080/big
+//	davix-get -v http://host:8080/store/f          # live engine events on stderr
 package main
 
 import (
@@ -20,10 +21,50 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"godavix"
 )
+
+// verboseTrace builds the -v trace: live per-chunk progress and engine
+// decisions (redirects, retries, failovers) printed to stderr as they
+// happen. Chunk callbacks run concurrently during multi-stream transfers,
+// so the byte total is an atomic.
+func verboseTrace(chunkBytes *atomic.Int64) *davix.ClientTrace {
+	return &davix.ClientTrace{
+		Redirect: func(op, fromHost, location string) {
+			fmt.Fprintf(os.Stderr, "davix-get: %s redirected from %s to %s\n", op, fromHost, location)
+		},
+		Retry: func(op, host string, attempt int, err error) {
+			fmt.Fprintf(os.Stderr, "davix-get: %s retry %d on %s: %v\n", op, attempt, host, err)
+		},
+		Failover: func(fromHost, toHost string, err error) {
+			fmt.Fprintf(os.Stderr, "davix-get: failover %s -> %s: %v\n", fromHost, toHost, err)
+		},
+		ChunkDone: func(dir davix.Direction, path string, idx int, off, length int64, err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "davix-get: chunk %d (%s) at %d failed: %v\n", idx, dir, off, err)
+				return
+			}
+			total := chunkBytes.Add(length)
+			fmt.Fprintf(os.Stderr, "davix-get: chunk %d (%s) done: %d bytes at offset %d (%d total)\n",
+				idx, dir, length, off, total)
+		},
+	}
+}
+
+// printSummary renders the client's unified snapshot after a -v run.
+func printSummary(s davix.Snapshot) {
+	fmt.Fprintf(os.Stderr, "davix-get: %d requests, %d retries, %d redirects, %d failovers, %d bytes up, %d bytes down\n",
+		s.Engine.Requests, s.Engine.Retries, s.Engine.Redirects, s.Engine.Failovers,
+		s.Engine.BytesUp, s.Engine.BytesDown)
+	fmt.Fprintf(os.Stderr, "davix-get: pool: %d dials, %d reuses, %d discards\n",
+		s.Pool.Dials, s.Pool.Reuses, s.Pool.Discards)
+	for _, q := range s.Expo().Quantiles {
+		fmt.Fprintf(os.Stderr, "davix-get: %-14s n=%-4d p50=%v p99=%v\n", q.Op, q.Count, q.P50, q.P99)
+	}
+}
 
 func main() {
 	out := flag.String("o", "", "write downloaded data to this file (default stdout)")
@@ -44,6 +85,7 @@ func main() {
 	s3Secret := flag.String("s3-secret", "", "AWS secret key")
 	s3Region := flag.String("s3-region", "us-east-1", "AWS region for SigV4 scope")
 	copyTo := flag.String("copy-to", "", "third-party copy the URL to this destination URL")
+	verbose := flag.Bool("v", false, "print live engine events and a transfer summary to stderr")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -63,17 +105,26 @@ func main() {
 	if *s3Key != "" {
 		s3creds = &davix.S3Credentials{AccessKey: *s3Key, SecretKey: *s3Secret, Region: *s3Region}
 	}
+	var chunkBytes atomic.Int64
+	var trace *davix.ClientTrace
+	if *verbose {
+		trace = verboseTrace(&chunkBytes)
+	}
 	client, err := davix.New(davix.Options{
 		RequestTimeout:  *timeout,
 		MetalinkHost:    *metalinkHost,
 		Auth:            creds,
 		VerifyChecksums: *verify,
 		S3:              s3creds,
+		Trace:           trace,
 	})
 	if err != nil {
 		log.Fatalf("davix-get: %v", err)
 	}
 	defer client.Close()
+	if *verbose {
+		defer func() { printSummary(client.Snapshot()) }()
+	}
 	ctx := context.Background()
 
 	switch {

@@ -3,6 +3,11 @@
 // single- and multi-range reads, MKCOL and PROPFIND — everything the davix
 // client needs.
 //
+// Every request is access-logged as a structured log/slog line, and a
+// debug surface is mounted alongside the data namespace: /metrics
+// (Prometheus text format), /debug/vars (expvar JSON) and /debug/pprof
+// (Go profiling). -no-debug turns the surface off, -quiet the access log.
+//
 // Usage:
 //
 //	dpm-server -addr :8080 -root /tmp/dpmdata
@@ -13,10 +18,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 
 	"godavix/internal/httpserv"
+	"godavix/internal/obs"
 	"godavix/internal/storage"
 )
 
@@ -25,6 +33,8 @@ func main() {
 	root := flag.String("root", "", "directory to serve (required)")
 	noKeepAlive := flag.Bool("no-keepalive", false, "disable HTTP keep-alive (close every connection)")
 	token := flag.String("token", "", "require this bearer token on every request")
+	noDebug := flag.Bool("no-debug", false, "disable /metrics, /debug/vars and /debug/pprof")
+	quiet := flag.Bool("quiet", false, "disable the per-request access log")
 	flag.Parse()
 
 	if *root == "" {
@@ -43,12 +53,24 @@ func main() {
 	}
 	srv := httpserv.New(store, opts)
 
+	// Wrap the data namespace in the debug surface and the access log.
+	// The log is outermost, so hits on /metrics and /debug/* are logged
+	// like any data request.
+	var h http.Handler = srv
+	if !*noDebug {
+		h = obs.DebugMux("dpmserver", srv.Snapshot, h)
+	}
+	if !*quiet {
+		logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+		h = obs.AccessLog(logger, h)
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("dpm-server: %v", err)
 	}
-	log.Printf("dpm-server: serving %s on %s (keepalive=%v)", *root, l.Addr(), !*noKeepAlive)
-	if err := srv.Serve(l); err != nil {
+	log.Printf("dpm-server: serving %s on %s (keepalive=%v debug=%v)", *root, l.Addr(), !*noKeepAlive, !*noDebug)
+	if err := srv.ServeHandler(l, h); err != nil {
 		log.Fatalf("dpm-server: %v", err)
 	}
 }

@@ -30,7 +30,13 @@
 //     detection and cross-host credential hygiene, bounded retry with
 //     backoff (Options.Retry), Metalink replica failover, and a per-host
 //     health scoreboard that demotes flapping nodes and re-probes them
-//     (Options.HealthThreshold) — all observable via Client.Metrics().
+//     (Options.HealthThreshold) — all observable via Client.Metrics();
+//   - an observability plane: httptrace-style per-event hooks
+//     (Options.Trace), structured logging of every engine decision through
+//     log/slog (Options.Logger), a unified counter snapshot spanning
+//     engine, cache and pool (Client.Snapshot), and zero-dependency
+//     exposition as Prometheus text (Client.MetricsHandler) or expvar JSON
+//     (Client.PublishExpvar).
 //
 // Quickstart:
 //
@@ -47,12 +53,15 @@ import (
 	"context"
 	"errors"
 	"io"
+	"log/slog"
 	"net"
+	"net/http"
 	"time"
 
 	"godavix/internal/blockcache"
 	"godavix/internal/core"
 	"godavix/internal/metalink"
+	"godavix/internal/obs"
 	"godavix/internal/pool"
 	"godavix/internal/rangev"
 	"godavix/internal/s3"
@@ -184,10 +193,42 @@ type Options struct {
 	// StatTTL caches Stat/Open metadata — 404s included, as negative
 	// entries — for this duration (0 disables).
 	StatTTL time.Duration
+
+	// Trace, when non-nil, receives a callback for every engine event:
+	// operation start/end, wire requests, connection acquisition, redirect
+	// hops, retries, replica failovers, breaker trips, cache hits and
+	// misses, and per-chunk progress of multi-stream transfers. Callbacks
+	// run inline on hot paths (concurrently during multi-stream transfers)
+	// and must be fast and thread-safe. Unset hooks cost one nil check.
+	Trace *ClientTrace
+	// Logger, when non-nil, records every trace event as a structured
+	// log/slog record: engine decisions (retry, failover, breaker trip) at
+	// Warn, completed operations at Info, per-request and per-chunk detail
+	// at Debug. Composes with Trace — both observe every event.
+	Logger *slog.Logger
 }
 
 // CacheStats are the client cache counters; see Client.CacheStats.
 type CacheStats = blockcache.Stats
+
+// ClientTrace is the httptrace-style hook set invoked at each engine
+// event; see Options.Trace. The zero value (or nil) observes nothing.
+type ClientTrace = obs.ClientTrace
+
+// Direction distinguishes download from upload chunk events.
+type Direction = obs.Direction
+
+// Chunk-event directions.
+const (
+	// Down marks a download (GET) chunk event.
+	Down = obs.Down
+	// Up marks an upload (PUT) chunk event.
+	Up = obs.Up
+)
+
+// Snapshot is the unified client stat surface: engine, cache and pool
+// counters captured in one call; see Client.Snapshot.
+type Snapshot = core.Snapshot
 
 // RetryPolicy bounds the retry-with-backoff layer; see Options.Retry.
 type RetryPolicy = core.RetryPolicy
@@ -258,6 +299,8 @@ func New(opts Options) (*Client, error) {
 		BlockSize:           opts.BlockSize,
 		ReadAhead:           opts.ReadAhead,
 		StatTTL:             opts.StatTTL,
+		Trace:               opts.Trace,
+		Logger:              opts.Logger,
 	})
 	if err != nil {
 		return nil, err
@@ -283,6 +326,28 @@ func (c *Client) CacheStats() CacheStats { return c.core.CacheStats() }
 // redirects, failovers, breaker trips, wire bytes up/down — and per-op
 // latency quantiles. Safe to call concurrently with in-flight operations.
 func (c *Client) Metrics() Metrics { return c.core.Metrics() }
+
+// Snapshot captures all three stat surfaces — engine metrics, cache
+// counters, pool counters — in one call, the shape the exposition
+// endpoints serve. Safe to call concurrently with in-flight operations.
+func (c *Client) Snapshot() Snapshot { return c.core.Snapshot() }
+
+// MetricsHandler returns an http.Handler serving this client's Snapshot in
+// the Prometheus text exposition format, every metric prefixed with
+// namespace ("davix_client_requests_total ..."). Zero dependencies — mount
+// it on any mux as /metrics.
+func (c *Client) MetricsHandler(namespace string) http.Handler {
+	return obs.MetricsHandler(namespace, func() obs.Snapshot { return c.core.Snapshot().Expo() })
+}
+
+// PublishExpvar exports this client's Snapshot under name in the
+// process-wide expvar registry (served by /debug/vars as JSON).
+// Re-publishing a name replaces its source, so closed-and-rebuilt clients
+// can keep one stable name.
+func (c *Client) PublishExpvar(name string) {
+	core := c.core
+	obs.PublishExpvar(name, func() obs.Snapshot { return core.Snapshot().Expo() })
+}
 
 // splitURL parses "http://host:port/path" (scheme optional).
 func splitURL(url string) (host, path string, err error) {

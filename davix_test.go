@@ -6,6 +6,8 @@ import (
 	"errors"
 	"io"
 	"math/rand"
+	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -134,6 +136,58 @@ func TestPublicPoolStats(t *testing.T) {
 	dials, reuses, _ := c.PoolStats()
 	if dials != 1 || reuses != 3 {
 		t.Fatalf("dials=%d reuses=%d", dials, reuses)
+	}
+}
+
+// TestPublicObservability exercises the public observability surface in
+// one pass: Options.Trace receives events, Snapshot unifies the three stat
+// surfaces, and MetricsHandler serves them as Prometheus text.
+func TestPublicObservability(t *testing.T) {
+	var requests, cacheHits int64
+	var mu sync.Mutex
+	_, st, c := startFabric(t, Options{
+		Strategy:  StrategyNone,
+		CacheSize: 1 << 20,
+		Trace: &ClientTrace{
+			Request:  func(method, host, path string) { mu.Lock(); requests++; mu.Unlock() },
+			CacheHit: func(key string, blocks int64) { mu.Lock(); cacheHits += blocks; mu.Unlock() },
+		},
+	})
+	st.Put("/f", []byte("observable payload"))
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := c.GetRange(ctx, "http://dpm1:80/f", 0, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mu.Lock()
+	gotReqs, gotHits := requests, cacheHits
+	mu.Unlock()
+	if gotReqs == 0 {
+		t.Error("trace saw no requests")
+	}
+	if gotHits == 0 {
+		t.Error("trace saw no cache hits (reads 2-3 should hit)")
+	}
+
+	s := c.Snapshot()
+	if s.Engine.Requests == 0 || s.Pool.Dials == 0 || s.Cache.Hits == 0 {
+		t.Fatalf("snapshot misses a surface: %+v", s)
+	}
+
+	rec := httptest.NewRecorder()
+	c.MetricsHandler("davix_client").ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"davix_client_requests_total",
+		"davix_client_cache_hits_total",
+		"davix_client_pool_dials_total",
+		`davix_client_op_latency_seconds{op="GET(range)",quantile="0.5"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 // Quickstart: bring up a DPM-like storage server on a simulated network,
 // then use the public davix API for the basic object lifecycle — put, stat,
-// ranged get, vectored read, list, delete.
+// ranged get, vectored read, list, delete — with a ClientTrace watching
+// every request, redirect and retry as it happens.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -10,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"godavix"
 	"godavix/internal/httpserv"
@@ -32,8 +34,24 @@ func main() {
 	defer l.Close()
 	go server.Serve(l)
 
-	// davix client.
-	client, err := davix.New(davix.Options{Dialer: fabric})
+	// davix client, with trace hooks subscribed: every wire request and any
+	// redirect/retry/failover prints as it happens. Set Options.Logger to a
+	// *slog.Logger instead (or as well) for structured log lines.
+	trace := &davix.ClientTrace{
+		Request: func(method, host, path string) {
+			fmt.Printf("TRACE  %s %s%s\n", method, host, path)
+		},
+		Redirect: func(op, fromHost, location string) {
+			fmt.Printf("TRACE  %s redirected %s -> %s\n", op, fromHost, location)
+		},
+		Retry: func(op, host string, attempt int, err error) {
+			fmt.Printf("TRACE  %s retry #%d on %s: %v\n", op, attempt, host, err)
+		},
+		OpDone: func(op, host, path string, d time.Duration, err error) {
+			fmt.Printf("TRACE  %s %s%s done in %v err=%v\n", op, host, path, d, err)
+		},
+	}
+	client, err := davix.New(davix.Options{Dialer: fabric, Trace: trace})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,6 +121,12 @@ func main() {
 	}
 	fmt.Println("DELETE /store/hello.txt")
 
-	dials, reuses, _ := client.PoolStats()
-	fmt.Printf("POOL   %d TCP connections served %d recycled requests\n", dials, dials+reuses)
+	// One unified snapshot: engine counters, cache stats and pool stats in a
+	// single coherent read. client.MetricsHandler("davix") serves the same
+	// numbers as a Prometheus /metrics endpoint.
+	snap := client.Snapshot()
+	fmt.Printf("POOL   %d TCP connections served %d recycled requests\n",
+		snap.Pool.Dials, snap.Pool.Dials+snap.Pool.Reuses)
+	fmt.Printf("STATS  %d requests, %d bytes up, %d bytes down\n",
+		snap.Engine.Requests, snap.Engine.BytesUp, snap.Engine.BytesDown)
 }

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestObsChunkAccounting runs the traced workload once and checks the
+// chunk-event stream reconstructs the transfers: ChunkDone byte totals in
+// each direction must sum exactly to transfers x object size.
+func TestObsChunkAccounting(t *testing.T) {
+	_, _, ct, transfers, err := runObs(true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(transfers) * obsSize
+	if got := ct.bytesUp.Load(); got != want {
+		t.Errorf("upload chunk bytes = %d, want %d", got, want)
+	}
+	if got := ct.bytesDown.Load(); got != want {
+		t.Errorf("download chunk bytes = %d, want %d", got, want)
+	}
+	if ct.events.Load() == 0 {
+		t.Error("no trace events emitted")
+	}
+}
+
+func TestObsTableRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	table, err := Obs(Options{Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+}
+
+// BenchmarkObsMultiStreamLAN compares a multi-stream download+upload pair
+// with nil hooks against every hook subscribed (CI smoke runs this at
+// -benchtime=1x).
+func BenchmarkObsMultiStreamLAN(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		traced bool
+	}{{"hooksNil", false}, {"hooksSubscribed", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, _, err := runObs(mode.traced, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -53,6 +53,14 @@ type Config struct {
 	// owning client's lifetime (default context.Background()). Cancelling
 	// it stops in-flight prefetches.
 	Background context.Context
+	// OnHit, when non-nil, is invoked after demand reads served from
+	// memory with the key and the number of blocks served. Called outside
+	// the cache lock, possibly from several goroutines at once; must not
+	// block.
+	OnHit func(key string, blocks int64)
+	// OnMiss, when non-nil, is invoked when a demand read needs blocks
+	// that are not resident. Same calling rules as OnHit.
+	OnMiss func(key string, blocks int64)
 }
 
 // Stats are the cache's monotonic counters. Block counters count blocks,
@@ -115,10 +123,12 @@ type seqState struct {
 // Cache is a block-aligned LRU page cache with single-flight miss
 // coalescing and asynchronous read-ahead. It is safe for concurrent use.
 type Cache struct {
-	cap int64
-	bs  int64
-	ra  int
-	bg  context.Context
+	cap    int64
+	bs     int64
+	ra     int
+	bg     context.Context
+	onHit  func(key string, blocks int64)
+	onMiss func(key string, blocks int64)
 
 	mu       sync.Mutex
 	lru      *list.List // of *block; front = most recently used
@@ -148,6 +158,8 @@ func New(cfg Config) *Cache {
 		bs:       cfg.BlockSize,
 		ra:       cfg.ReadAhead,
 		bg:       cfg.Background,
+		onHit:    cfg.OnHit,
+		onMiss:   cfg.OnMiss,
 		lru:      list.New(),
 		blocks:   make(map[blockKey]*list.Element),
 		inflight: make(map[blockKey]*flight),
@@ -248,6 +260,9 @@ func (c *Cache) getBlock(ctx context.Context, key string, idx, blockLen int64, f
 			c.mu.Unlock()
 			if !prefetch {
 				c.hits.Add(1)
+				if c.onHit != nil {
+					c.onHit(key, 1)
+				}
 			}
 			return data, nil
 		}
@@ -276,6 +291,9 @@ func (c *Cache) getBlock(ctx context.Context, key string, idx, blockLen int64, f
 
 		if !prefetch {
 			c.misses.Add(1)
+			if c.onMiss != nil {
+				c.onMiss(key, 1)
+			}
 		}
 		data, err := fetch(ctx, idx*c.bs, blockLen)
 		if err == nil && int64(len(data)) > blockLen {
@@ -419,6 +437,9 @@ func (c *Cache) PeekSpan(key string, p []byte, off int64) bool {
 	if missing > 0 {
 		c.mu.Unlock()
 		c.misses.Add(missing)
+		if c.onMiss != nil {
+			c.onMiss(key, missing)
+		}
 		return false
 	}
 	n := 0
@@ -441,6 +462,9 @@ func (c *Cache) PeekSpan(key string, p []byte, off int64) bool {
 	}
 	c.mu.Unlock()
 	c.hits.Add(last - first + 1)
+	if c.onHit != nil {
+		c.onHit(key, last-first+1)
+	}
 	return true
 }
 

@@ -11,10 +11,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
+	"strings"
 	"time"
 
 	"godavix/internal/blockcache"
 	"godavix/internal/metalink"
+	"godavix/internal/obs"
 	"godavix/internal/pool"
 	"godavix/internal/s3"
 	"godavix/internal/wire"
@@ -159,6 +162,17 @@ type Options struct {
 	// StatTTL caches Stat/Open metadata — including negative 404 results —
 	// for this duration, absorbing stat storms (0 disables).
 	StatTTL time.Duration
+
+	// Trace, when non-nil, installs httptrace-style hooks the engine fires
+	// as operations progress: requests, retries, redirects, failovers,
+	// breaker trips, pool and cache activity, chunk progress. Hooks run
+	// inline on the hot path and may fire concurrently; nil costs nothing.
+	Trace *obs.ClientTrace
+
+	// Logger, when non-nil, emits structured slog events for the same
+	// trace stream (resilience events at Warn, completed operations at
+	// Info, per-request detail at Debug). Composes with Trace: both fire.
+	Logger *slog.Logger
 }
 
 // Credentials carries request authentication. Exactly one mechanism
@@ -263,6 +277,9 @@ type Client struct {
 
 	// metrics collects the client-wide counters behind Metrics().
 	metrics metrics
+	// trace is the merged Options.Trace + Options.Logger hook set (nil
+	// when neither is configured; every emit site is nil-safe).
+	trace *obs.ClientTrace
 	// health is the per-host scoreboard reordering replica rings.
 	health *healthBoard
 
@@ -281,18 +298,29 @@ func NewClient(opts Options) (*Client, error) {
 	}
 	opts = opts.withDefaults()
 	c := &Client{opts: opts}
+	c.trace = obs.Merge(opts.Trace, obs.SlogTrace(opts.Logger))
 	c.health = newHealthBoard(opts.HealthThreshold, opts.HealthProbeAfter)
+	c.health.trace = c.trace
 	// Every connection counts its wire bytes into the client metrics.
 	c.pool = pool.New(countingDialer{d: opts.Dialer, m: &c.metrics}, opts.Pool)
 	if opts.CacheSize > 0 {
 		bg, cancel := context.WithCancel(context.Background())
 		c.bgCancel = cancel
-		c.cache = blockcache.New(blockcache.Config{
+		cfg := blockcache.Config{
 			Capacity:   opts.CacheSize,
 			BlockSize:  opts.BlockSize,
 			ReadAhead:  opts.ReadAhead,
 			Background: bg,
-		})
+		}
+		if tr := c.trace; tr != nil {
+			if tr.CacheHit != nil {
+				cfg.OnHit = func(key string, blocks int64) { tr.CacheHit(prettyKey(key), blocks) }
+			}
+			if tr.CacheMiss != nil {
+				cfg.OnMiss = func(key string, blocks int64) { tr.CacheMiss(prettyKey(key), blocks) }
+			}
+		}
+		c.cache = blockcache.New(cfg)
 	}
 	if opts.StatTTL > 0 {
 		c.statc = blockcache.NewStatCache[Info](opts.StatTTL)
@@ -324,6 +352,10 @@ func (c *Client) CacheStats() blockcache.Stats {
 // cacheKey names host/path in the shared caches. Replicated reads cache
 // under the primary name the caller asked for.
 func cacheKey(host, path string) string { return host + "\x00" + path }
+
+// prettyKey renders a cacheKey for trace consumers ("host/path" instead of
+// the NUL-separated internal form).
+func prettyKey(key string) string { return strings.Replace(key, "\x00", "", 1) }
 
 // invalidateCache drops cached blocks and metadata for host/path after a
 // mutation (Put, Delete, Mkdir) so readers never see stale data from this
@@ -364,27 +396,40 @@ type Response struct {
 	conn   *pool.Conn
 	client *Client
 	closed bool
+	// dropWire marks an exchange whose wire bytes must not be charged to
+	// BytesUp/BytesDown: an abandoned redirect hop, whose request is about
+	// to be re-sent in full to the next target.
+	dropWire bool
 }
 
 // Close finishes the response: a fully-consumed keep-alive body recycles
-// the connection; anything else discards it.
+// the connection; anything else discards it. Either way, the exchange's
+// pending wire bytes are settled into the client counters first (committed
+// normally, dropped for an abandoned redirect hop).
 func (r *Response) Close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
-	if r.KeepAlive && r.Consumed() {
-		r.client.pool.Put(r.conn)
-		return nil
-	}
-	// Try to drain a small remainder so the connection stays usable.
-	if r.KeepAlive {
+	recycle := r.KeepAlive && r.Consumed()
+	if !recycle && r.KeepAlive {
+		// Try to drain a small remainder so the connection stays usable.
 		if _, err := io.CopyN(io.Discard, r.Body, 64<<10); err == io.EOF && r.Consumed() {
-			r.client.pool.Put(r.conn)
-			return nil
+			recycle = true
 		}
 	}
-	r.client.pool.Discard(r.conn)
+	if cc, ok := r.conn.NetConn().(*countingConn); ok {
+		if r.dropWire {
+			cc.drop()
+		} else {
+			cc.flush()
+		}
+	}
+	if recycle {
+		r.client.pool.Put(r.conn)
+	} else {
+		r.client.pool.Discard(r.conn)
+	}
 	return nil
 }
 
@@ -419,6 +464,7 @@ func (c *Client) Do(ctx context.Context, host string, req *wire.Request) (*Respo
 		}
 		// The replay is about to happen; count it only now.
 		c.metrics.retries.Add(1)
+		c.trace.EmitRetry(req.Method, host, 1, err)
 	}
 }
 
@@ -433,6 +479,7 @@ func (c *Client) doOnce(ctx context.Context, host string, req *wire.Request, aut
 		return nil, false, err
 	}
 	reused := conn.Uses() > 1
+	c.trace.EmitConnAcquired(host, reused)
 	resp, err := c.roundTrip(ctx, conn, req, authHost)
 	if err != nil {
 		c.pool.Discard(conn)
@@ -448,6 +495,7 @@ func (c *Client) roundTrip(ctx context.Context, conn *pool.Conn, req *wire.Reque
 	}
 	c.prepare(req, authHost)
 	c.metrics.requests.Add(1)
+	c.trace.EmitRequest(req.Method, req.Host, req.Path)
 	if err := req.Write(conn.NetConn()); err != nil {
 		return nil, fmt.Errorf("davix: write request: %w", err)
 	}

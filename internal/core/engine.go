@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"godavix/internal/metalink"
+	"godavix/internal/obs"
 	"godavix/internal/wire"
 )
 
@@ -111,10 +112,15 @@ func (p RetryPolicy) backoff(n int) time.Duration {
 // under spec.op.
 func (c *Client) exec(ctx context.Context, host, path string, spec reqSpec,
 	build func(host, path string) *wire.Request,
-	handle func(landed Replica, resp *Response) error) error {
+	handle func(landed Replica, resp *Response) error) (err error) {
 
 	start := time.Now()
-	defer func() { c.metrics.observe(spec.op, time.Since(start)) }()
+	c.trace.EmitOpStart(spec.op, host, path)
+	defer func() {
+		d := time.Since(start)
+		c.metrics.observe(spec.op, d)
+		c.trace.EmitOpDone(spec.op, host, path, d, err)
+	}()
 	if spec.failover && c.opts.Strategy != StrategyNone {
 		return c.withFailover(ctx, host, path, func(r Replica) error {
 			return c.execAttempts(ctx, r, spec, build, handle)
@@ -146,6 +152,7 @@ func (c *Client) execAttempts(ctx context.Context, rep Replica, spec reqSpec,
 			return lastErr
 		}
 		c.metrics.retries.Add(1)
+		c.trace.EmitRetry(spec.op, rep.Host, attempt, err)
 		if err := sleepCtx(ctx, c.opts.RetryPolicy.backoff(attempt)); err != nil {
 			return lastErr
 		}
@@ -226,7 +233,7 @@ func (c *Client) execHops(ctx context.Context, rep Replica, spec reqSpec,
 	host, path := rep.Host, rep.Path
 	tracker := hopTracker{max: c.opts.MaxRedirects}
 	for {
-		resp, err := c.doHop(ctx, spec.method, rep.Host, host, path, build)
+		resp, err := c.doHop(ctx, spec, rep.Host, host, path, build)
 		if err != nil {
 			c.recordHealth(host, err)
 			return err
@@ -253,6 +260,10 @@ func (c *Client) execHops(ctx context.Context, rep Replica, spec reqSpec,
 		c.metrics.redirects.Add(1)
 		code := resp.StatusCode
 		loc := resp.Header.Get("Location")
+		c.trace.EmitRedirect(spec.op, host, loc)
+		// The request is about to be re-sent in full to the next target;
+		// charging this hop's exchange too would double-count its bytes.
+		resp.dropWire = true
 		resp.Discard()
 		resp.Close()
 		if loc == "" {
@@ -273,13 +284,13 @@ func (c *Client) execHops(ctx context.Context, rep Replica, spec reqSpec,
 // spec's method is stamped authoritatively (the builder cannot drift from
 // the declared contract); originHost scopes Bearer/Basic credentials to
 // the chain's first host.
-func (c *Client) doHop(ctx context.Context, method, originHost, host, path string,
+func (c *Client) doHop(ctx context.Context, spec reqSpec, originHost, host, path string,
 	build func(host, path string) *wire.Request) (*Response, error) {
 
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		req := build(host, path)
-		req.Method = method
+		req.Method = spec.method
 		resp, reused, err := c.doOnce(ctx, host, req, originHost)
 		if err == nil {
 			return resp, nil
@@ -290,6 +301,7 @@ func (c *Client) doHop(ctx context.Context, method, originHost, host, path strin
 		}
 		// The replay is about to happen; count it only now.
 		c.metrics.retries.Add(1)
+		c.trace.EmitRetry(spec.op, host, 1, err)
 	}
 }
 
@@ -397,6 +409,7 @@ func (c *Client) withFailover(ctx context.Context, host, path string, op func(Re
 			return ctx.Err()
 		}
 		c.metrics.failovers.Add(1)
+		c.trace.EmitFailover(host, rep.Host, firstErr)
 		err := op(rep)
 		if err == nil || !replicaUnavailable(err) {
 			return err
@@ -452,6 +465,8 @@ type hostHealth struct {
 type healthBoard struct {
 	threshold  int // <= 0 disables the scoreboard entirely
 	probeAfter time.Duration
+	// trace receives BreakerTrip events (nil-safe; set by NewClient).
+	trace *obs.ClientTrace
 
 	mu    sync.RWMutex
 	hosts map[string]*hostHealth
@@ -514,6 +529,7 @@ func (b *healthBoard) fail(host string, m *metrics) {
 		h.probing.Store(false)
 		b.open.Add(1)
 		m.breakerTrips.Add(1)
+		b.trace.EmitBreakerTrip(host)
 	}
 }
 

@@ -33,8 +33,12 @@ type Metrics struct {
 	// BreakerTrips counts per-host health-scoreboard demotions
 	// (consecutive-failure threshold reached, host enters cooldown).
 	BreakerTrips int64
-	// BytesUp and BytesDown are wire bytes written/read across every
-	// pooled connection, headers included.
+	// BytesUp and BytesDown are the wire bytes (headers included) of every
+	// settled exchange across the pooled connections. An exchange the
+	// engine abandons and re-issues in full — a redirect hop bounced to
+	// another node, a stale-recycled-connection replay — is excluded, so a
+	// body that crosses the wire twice on the way to its final target is
+	// charged once.
 	BytesUp   int64
 	BytesDown int64
 	// Ops maps an operation label ("GET", "PUT(range)", "PROPFIND", ...)
@@ -175,16 +179,24 @@ func (cd countingDialer) DialContext(ctx context.Context, addr string) (net.Conn
 	return &countingConn{Conn: conn, m: cd.m}, nil
 }
 
-// countingConn charges reads and writes to BytesDown/BytesUp.
+// countingConn stages each exchange's wire bytes in per-connection pending
+// counters. Response.Close settles them: flush commits the exchange to the
+// client-wide BytesUp/BytesDown, drop forgets an abandoned redirect hop so
+// its re-sent request is not double-counted. An exchange that dies before
+// reaching Close (a stale-connection replay, a failed dial-out) is
+// discarded with the connection, pending bytes and all — only exchanges the
+// engine kept count. The counters are atomics because an exchange's reads
+// and writes can interleave with the pool reaper closing the conn.
 type countingConn struct {
 	net.Conn
-	m *metrics
+	m                *metrics
+	pendUp, pendDown atomic.Int64
 }
 
 func (c *countingConn) Read(p []byte) (int, error) {
 	n, err := c.Conn.Read(p)
 	if n > 0 {
-		c.m.bytesDown.Add(int64(n))
+		c.pendDown.Add(int64(n))
 	}
 	return n, err
 }
@@ -192,7 +204,23 @@ func (c *countingConn) Read(p []byte) (int, error) {
 func (c *countingConn) Write(p []byte) (int, error) {
 	n, err := c.Conn.Write(p)
 	if n > 0 {
-		c.m.bytesUp.Add(int64(n))
+		c.pendUp.Add(int64(n))
 	}
 	return n, err
+}
+
+// flush commits the pending exchange to the client-wide counters.
+func (c *countingConn) flush() {
+	if n := c.pendDown.Swap(0); n != 0 {
+		c.m.bytesDown.Add(n)
+	}
+	if n := c.pendUp.Swap(0); n != 0 {
+		c.m.bytesUp.Add(n)
+	}
+}
+
+// drop forgets the pending exchange (abandoned redirect hop).
+func (c *countingConn) drop() {
+	c.pendDown.Store(0)
+	c.pendUp.Store(0)
 }

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sort"
+
+	"godavix/internal/blockcache"
+	"godavix/internal/obs"
+	"godavix/internal/pool"
+)
+
+// Snapshot is the client's three stat surfaces — engine counters, cache
+// counters, pool counters — captured in one call. Each component snapshot
+// is internally consistent; the three are taken back to back, so counters
+// that span components (a cache miss and the request it caused) can differ
+// by whatever landed in between. Expo renders the whole thing for the
+// exposition endpoints.
+type Snapshot struct {
+	// Engine is the request-engine view: requests, retries, redirects,
+	// failovers, breaker trips, wire bytes, per-op latency.
+	Engine Metrics `json:"engine"`
+	// Cache is the block-cache and stat-cache view.
+	Cache blockcache.Stats `json:"cache"`
+	// Pool is the connection-pool view.
+	Pool pool.Stats `json:"pool"`
+}
+
+// Snapshot captures engine, cache and pool counters in one call. Safe to
+// call concurrently with in-flight operations.
+func (c *Client) Snapshot() Snapshot {
+	return Snapshot{
+		Engine: c.Metrics(),
+		Cache:  c.CacheStats(),
+		Pool:   c.pool.Stats(),
+	}
+}
+
+// Expo flattens the snapshot into the exposition shape served by /metrics
+// and /debug/vars: one counter list spanning engine, cache and pool, plus
+// the per-op latency quantiles sorted by op name.
+func (s Snapshot) Expo() obs.Snapshot {
+	out := obs.Snapshot{Counters: []obs.Counter{
+		{Name: "requests_total", Help: "HTTP requests written to a connection (hops, retries and failover attempts each count).", Value: s.Engine.Requests},
+		{Name: "retries_total", Help: "Extra attempts at the same target (stale-connection replays plus policy retries).", Value: s.Engine.Retries},
+		{Name: "redirects_total", Help: "Followed 3xx hops.", Value: s.Engine.Redirects},
+		{Name: "failovers_total", Help: "Switches to an alternate Metalink replica.", Value: s.Engine.Failovers},
+		{Name: "breaker_trips_total", Help: "Per-host health-scoreboard demotions.", Value: s.Engine.BreakerTrips},
+		{Name: "bytes_up_total", Help: "Wire bytes sent across settled exchanges (headers included).", Value: s.Engine.BytesUp},
+		{Name: "bytes_down_total", Help: "Wire bytes received across settled exchanges (headers included).", Value: s.Engine.BytesDown},
+		{Name: "cache_hits_total", Help: "Blocks served from the in-memory cache.", Value: s.Cache.Hits},
+		{Name: "cache_misses_total", Help: "Blocks a demand read had to fetch.", Value: s.Cache.Misses},
+		{Name: "cache_evictions_total", Help: "Blocks dropped to make room at capacity.", Value: s.Cache.Evictions},
+		{Name: "cache_prefetched_total", Help: "Blocks fetched by the read-ahead engine.", Value: s.Cache.Prefetched},
+		{Name: "cache_singleflight_joins_total", Help: "Reads that joined another reader's in-flight fetch.", Value: s.Cache.SingleFlightJoins},
+		{Name: "cache_bytes", Help: "Resident cache payload bytes.", Value: s.Cache.BytesCached, Gauge: true},
+		{Name: "stat_hits_total", Help: "Metadata-cache hits (negative 404 hits included).", Value: s.Cache.StatHits},
+		{Name: "stat_misses_total", Help: "Metadata-cache misses.", Value: s.Cache.StatMisses},
+		{Name: "pool_dials_total", Help: "New transport connections established.", Value: s.Pool.Dials},
+		{Name: "pool_reuses_total", Help: "Requests served on a recycled connection.", Value: s.Pool.Reuses},
+		{Name: "pool_discards_total", Help: "Connections dropped (TTL, max-uses, error, overflow).", Value: s.Pool.Discards},
+	}}
+	ops := make([]string, 0, len(s.Engine.Ops))
+	for op := range s.Engine.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		st := s.Engine.Ops[op]
+		out.Quantiles = append(out.Quantiles, obs.Quantile{
+			Op: op, Count: st.Count, P50: st.P50, P90: st.P90, P99: st.P99,
+		})
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 
 	"godavix/internal/bufpool"
 	"godavix/internal/metalink"
+	"godavix/internal/obs"
 )
 
 // readChunkReplicas fetches [off, off+len(dst)) into dst, spreading load by
@@ -17,7 +18,10 @@ import (
 // breaker is open are skipped while alternatives exist — once the
 // scoreboard has demoted a dead disk node, later chunks stop paying its
 // timeout at all (a half-open probe re-admits it when it recovers).
-func (c *Client) readChunkReplicas(ctx context.Context, replicas []Replica, idx int, off int64, dst []byte) error {
+func (c *Client) readChunkReplicas(ctx context.Context, replicas []Replica, idx int, off int64, dst []byte) (err error) {
+	path := replicas[0].Path
+	c.trace.EmitChunkStart(obs.Down, path, idx, off, int64(len(dst)))
+	defer func() { c.trace.EmitChunkDone(obs.Down, path, idx, off, int64(len(dst)), err) }()
 	// tryOne returns (done, err): done means the walk must stop — success,
 	// caller cancellation, or a semantic failure every replica reproduces.
 	tryOne := func(rep Replica) (bool, error) {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"godavix/internal/bufpool"
+	"godavix/internal/obs"
 	"godavix/internal/pool"
 	"godavix/internal/wire"
 )
@@ -131,13 +132,19 @@ func (c *Client) PutReader(ctx context.Context, host, path string, r io.Reader, 
 // until the server speaks), so the chain applies the same hop policies
 // itself: hop cap, loop detection, per-hop health recording, and — via
 // prepare's authHost scoping — no credential forwarding to cross-host hops.
-func (c *Client) putStream(ctx context.Context, host, path string, body io.Reader, size int64) (*Response, error) {
+func (c *Client) putStream(ctx context.Context, host, path string, body io.Reader, size int64) (resp *Response, err error) {
 	start := time.Now()
-	defer func() { c.metrics.observe("PUT(stream)", time.Since(start)) }()
-	origin := host
+	origin, originPath := host, path
+	c.trace.EmitOpStart("PUT(stream)", origin, originPath)
+	defer func() {
+		d := time.Since(start)
+		c.metrics.observe("PUT(stream)", d)
+		c.trace.EmitOpDone("PUT(stream)", origin, originPath, d, err)
+	}()
 	tracker := hopTracker{max: c.opts.MaxRedirects}
 	for {
-		resp, redirect, err := c.putStreamOnce(ctx, origin, host, path, body, size)
+		var redirect string
+		resp, redirect, err = c.putStreamOnce(ctx, origin, host, path, body, size)
 		c.recordHealth(host, err)
 		if err != nil {
 			return nil, err
@@ -146,6 +153,7 @@ func (c *Client) putStream(ctx context.Context, host, path string, body io.Reade
 			return resp, nil
 		}
 		c.metrics.redirects.Add(1)
+		c.trace.EmitRedirect("PUT(stream)", host, redirect)
 		host, path, err = tracker.follow(host, path, redirect)
 		if err != nil {
 			return nil, err
@@ -169,6 +177,7 @@ func (c *Client) putStreamOnce(ctx context.Context, originHost, host, path strin
 			return nil, "", err
 		}
 		reused := conn.Uses() > 1
+		c.trace.EmitConnAcquired(host, reused)
 
 		req := wire.NewRequest("PUT", host, path)
 		req.Body = body
@@ -176,6 +185,7 @@ func (c *Client) putStreamOnce(ctx context.Context, originHost, host, path strin
 		req.Header.Set("Expect", "100-continue")
 		c.prepare(req, originHost)
 		c.metrics.requests.Add(1)
+		c.trace.EmitRequest("PUT", host, path)
 		if err := c.applyDeadline(ctx, conn); err != nil {
 			c.pool.Discard(conn)
 			return nil, "", err
@@ -203,6 +213,7 @@ func (c *Client) putStreamOnce(ctx context.Context, originHost, host, path strin
 			}
 			// The replay is about to happen; count it only now.
 			c.metrics.retries.Add(1)
+			c.trace.EmitRetry("PUT(stream)", host, 1, lastErr)
 			continue
 		}
 
@@ -340,7 +351,9 @@ func (c *Client) multiStreamPut(ctx context.Context, host, path string, size int
 		bufpool.Put(buf)
 		return err
 	}
+	c.trace.EmitChunkStart(obs.Up, path, 0, 0, probeLen)
 	probe, err := c.putRanged(ctx, host, path, buf, 0, size, uploadID)
+	c.trace.EmitChunkDone(obs.Up, path, 0, 0, probeLen, err)
 	bufpool.Put(buf)
 	if err != nil {
 		if rangedPutUnsupported(err) {
@@ -358,7 +371,10 @@ func (c *Client) multiStreamPut(ctx context.Context, host, path string, size int
 		if err := readChunk(cctx, idx, off, buf); err != nil {
 			return err
 		}
+		// The probe was chunk 0; fan-out chunks number from 1.
+		c.trace.EmitChunkStart(obs.Up, path, idx+1, off, ln)
 		res, err := c.putRanged(cctx, probe.host, probe.path, buf, off, size, uploadID)
+		c.trace.EmitChunkDone(obs.Up, path, idx+1, off, ln, err)
 		if err == nil && res.created {
 			created.Store(true)
 		}

@@ -18,6 +18,7 @@ import (
 	"net"
 	"net/http"
 	"path"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"godavix/internal/metalink"
+	"godavix/internal/obs"
 	"godavix/internal/s3"
 	"godavix/internal/storage"
 	"godavix/internal/webdav"
@@ -252,9 +254,51 @@ func (s *Server) RequestsByMethod(method string) int64 {
 	return v.(*atomic.Int64).Load()
 }
 
+// Snapshot renders the server's counters in the exposition shape: total
+// requests, per-method counts (sorted), and in-progress ranged-upload
+// assemblies. Safe to call concurrently with in-flight requests.
+func (s *Server) Snapshot() obs.Snapshot {
+	type mc struct {
+		method string
+		n      int64
+	}
+	var methods []mc
+	s.byMethod.Range(func(k, v any) bool {
+		methods = append(methods, mc{k.(string), v.(*atomic.Int64).Load()})
+		return true
+	})
+	sort.Slice(methods, func(i, j int) bool { return methods[i].method < methods[j].method })
+	s.partialMu.Lock()
+	partials := int64(len(s.partials))
+	s.partialMu.Unlock()
+	out := obs.Snapshot{Counters: []obs.Counter{
+		{Name: "requests_total", Help: "HTTP requests served.", Value: s.requests.Load()},
+	}}
+	for _, m := range methods {
+		out.Counters = append(out.Counters, obs.Counter{
+			Name:  "requests_" + strings.ToLower(m.method) + "_total",
+			Help:  "Requests served with method " + m.method + ".",
+			Value: m.n,
+		})
+	}
+	out.Counters = append(out.Counters, obs.Counter{
+		Name: "partial_uploads", Help: "Ranged-upload assemblies currently in progress.",
+		Value: partials, Gauge: true,
+	})
+	return out
+}
+
 // Serve runs an HTTP server on l until the listener is closed.
 func (s *Server) Serve(l net.Listener) error {
-	srv := &http.Server{Handler: s}
+	return s.ServeHandler(l, s)
+}
+
+// ServeHandler runs an HTTP server on l with h as the root handler —
+// normally this Server wrapped in observability middleware (access log,
+// debug endpoints). Keep-alive policy follows Options.DisableKeepAlive
+// regardless of the wrapping.
+func (s *Server) ServeHandler(l net.Listener, h http.Handler) error {
+	srv := &http.Server{Handler: h}
 	srv.SetKeepAlivesEnabled(!s.opts.DisableKeepAlive)
 	err := srv.Serve(l)
 	if errors.Is(err, net.ErrClosed) || errors.Is(err, http.ErrServerClosed) {

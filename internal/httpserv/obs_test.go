@@ -1,0 +1,165 @@
+package httpserv
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"godavix/internal/obs"
+	"godavix/internal/storage"
+)
+
+// TestSnapshotCounters: the server's Snapshot must expose total requests,
+// sorted per-method counters and the partial-upload gauge.
+func TestSnapshotCounters(t *testing.T) {
+	srv, ts, _ := newTestServer(t, Options{})
+
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/store/f", strings.NewReader("x"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/store/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	snap := srv.Snapshot()
+	if got := counterValue(t, snap, "requests_total"); got != 3 {
+		t.Errorf("requests_total = %d, want 3", got)
+	}
+	if got := counterValue(t, snap, "requests_get_total"); got != 2 {
+		t.Errorf("requests_get_total = %d, want 2", got)
+	}
+	if got := counterValue(t, snap, "requests_put_total"); got != 1 {
+		t.Errorf("requests_put_total = %d, want 1", got)
+	}
+	if got := counterValue(t, snap, "partial_uploads"); got != 0 {
+		t.Errorf("partial_uploads = %d, want 0", got)
+	}
+	// Per-method counters come out sorted for stable exposition.
+	var methods []string
+	for _, c := range snap.Counters {
+		if strings.HasPrefix(c.Name, "requests_") && c.Name != "requests_total" {
+			methods = append(methods, c.Name)
+		}
+	}
+	if len(methods) != 2 || methods[0] != "requests_get_total" || methods[1] != "requests_put_total" {
+		t.Errorf("method counters = %v, want sorted [requests_get_total requests_put_total]", methods)
+	}
+}
+
+// counterValue finds name in s, failing the test when absent.
+func counterValue(t *testing.T, s obs.Snapshot, name string) int64 {
+	t.Helper()
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	t.Fatalf("snapshot has no counter %q: %+v", name, s.Counters)
+	return 0
+}
+
+// TestServeHandlerDebugSurface drives the exact dpm-server wiring — access
+// log outermost, then the debug mux, then the storage handler — over a real
+// listener: data requests work, /metrics serves Prometheus text with the
+// server's counters, /debug/vars and /debug/pprof answer, and every
+// request (debug endpoints included) writes one access-log line.
+func TestServeHandlerDebugSurface(t *testing.T) {
+	st := storage.NewMemStore()
+	st.Put("/store/f", []byte("payload"))
+	srv := New(st, Options{})
+
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	}), nil))
+	h := obs.AccessLog(logger, obs.DebugMux("dpmserver", srv.Snapshot, srv))
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.ServeHandler(l, h)
+	base := "http://" + l.Addr().String()
+
+	get := func(path string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	if code, body, _ := get("/store/f"); code != 200 || body != "payload" {
+		t.Fatalf("data GET = %d %q", code, body)
+	}
+	code, body, hdr := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE dpmserver_requests_total counter",
+		"dpmserver_requests_get_total",
+		"# TYPE dpmserver_partial_uploads gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if code, body, _ := get("/debug/vars"); code != 200 || !strings.Contains(body, "dpmserver") {
+		t.Fatalf("/debug/vars = %d, body %q", code, body)
+	}
+	if code, _, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+
+	// The snapshot reflects what the data namespace actually served (debug
+	// endpoints are handled above the Server, so they do not count here).
+	snap := srv.Snapshot()
+	if got := counterValue(t, snap, "requests_total"); got != 1 {
+		t.Errorf("requests_total = %d, want 1 (only the data GET hits the Server)", got)
+	}
+	if got := counterValue(t, snap, "requests_get_total"); got != 1 {
+		t.Errorf("requests_get_total = %d, want 1", got)
+	}
+
+	// One access-log line per request, debug endpoints included.
+	mu.Lock()
+	lines := strings.Count(buf.String(), "\n")
+	logged := buf.String()
+	mu.Unlock()
+	if lines != 4 {
+		t.Errorf("access log has %d lines, want 4:\n%s", lines, logged)
+	}
+	for _, want := range []string{"path=/store/f", "path=/metrics", "path=/debug/vars", "status=200"} {
+		if !strings.Contains(logged, want) {
+			t.Errorf("access log missing %q:\n%s", want, logged)
+		}
+	}
+}
+
+// writerFunc adapts a function to io.Writer.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,246 @@
+// Package obs is the observability plane of the davix engine: an
+// httptrace-style hook struct (ClientTrace) the engine fires at every
+// interesting event, a log/slog adapter rendering those hooks as structured
+// log events, and a zero-dependency exposition layer (expvar publication,
+// Prometheus text format, pprof/vars debug endpoints, HTTP access logging)
+// for the client and the storage-gateway server.
+//
+// The package deliberately depends on the standard library only, and the
+// engine side is nil-safe end to end: with no trace installed every emit
+// site is two pointer checks, so the disabled case stays off the hot path.
+package obs
+
+import "time"
+
+// Direction labels which way a transfer chunk moves.
+type Direction string
+
+// Chunk directions.
+const (
+	// Down is a download chunk (server to client).
+	Down Direction = "down"
+	// Up is an upload chunk (client to server).
+	Up Direction = "up"
+)
+
+// ClientTrace is a set of hooks the engine invokes as an operation
+// progresses, in the style of net/http/httptrace.ClientTrace. Any field may
+// be nil; a nil function (or a nil *ClientTrace) costs the engine nothing
+// beyond the check. Hooks may be called concurrently from multiple
+// goroutines (multi-stream transfers run chunks in parallel) and must be
+// safe for concurrent use; they run inline on the hot path, so they should
+// return quickly and never block.
+type ClientTrace struct {
+	// OpStart fires when an engine operation (one exec: GET, PUT(range),
+	// PROPFIND, ...) begins, before any network traffic.
+	OpStart func(op, host, path string)
+
+	// OpDone fires when the operation finishes, with its caller-observed
+	// duration (retries, redirects and failover included) and final error.
+	OpDone func(op, host, path string, d time.Duration, err error)
+
+	// Request fires for every HTTP request written to a connection:
+	// redirect hops, retry attempts and failover attempts each count.
+	Request func(method, host, path string)
+
+	// ConnAcquired fires when a pooled connection is borrowed for a
+	// request; reused reports a recycled keep-alive session (a pool hit)
+	// versus a fresh dial.
+	ConnAcquired func(host string, reused bool)
+
+	// Redirect fires when the engine follows a 3xx hop away from fromHost.
+	Redirect func(op, fromHost, location string)
+
+	// Retry fires before a retry of op against host: transparent
+	// stale-recycled-connection replays (attempt 1) and RetryPolicy backoff
+	// retries, with the error that caused the retry.
+	Retry func(op, host string, attempt int, err error)
+
+	// Failover fires when the engine abandons fromHost and tries the next
+	// Metalink replica on toHost; err is the failure being failed over
+	// (nil when the primary was breaker-skipped up front).
+	Failover func(fromHost, toHost string, err error)
+
+	// BreakerTrip fires when the per-host health scoreboard demotes host
+	// (consecutive-failure threshold reached, cooldown starts).
+	BreakerTrip func(host string)
+
+	// CacheHit fires when the block cache serves blocks of key from
+	// memory; blocks counts cache pages, not bytes.
+	CacheHit func(key string, blocks int64)
+
+	// CacheMiss fires when a demand read needs blocks of key that are not
+	// resident.
+	CacheMiss func(key string, blocks int64)
+
+	// ChunkStart fires when one chunk of a multi-stream transfer (upload,
+	// download, or pull-mode copy) is about to move [off, off+length) of
+	// path.
+	ChunkStart func(dir Direction, path string, idx int, off, length int64)
+
+	// ChunkDone fires when that chunk finished (err nil) or failed. The
+	// lengths of the successful ChunkDone events of one transfer sum to
+	// exactly the object size.
+	ChunkDone func(dir Direction, path string, idx int, off, length int64, err error)
+}
+
+// The emit methods below are the engine-facing surface: all are safe on a
+// nil receiver and skip nil hooks, so call sites never need a check.
+
+// EmitOpStart invokes OpStart if installed.
+func (t *ClientTrace) EmitOpStart(op, host, path string) {
+	if t == nil || t.OpStart == nil {
+		return
+	}
+	t.OpStart(op, host, path)
+}
+
+// EmitOpDone invokes OpDone if installed.
+func (t *ClientTrace) EmitOpDone(op, host, path string, d time.Duration, err error) {
+	if t == nil || t.OpDone == nil {
+		return
+	}
+	t.OpDone(op, host, path, d, err)
+}
+
+// EmitRequest invokes Request if installed.
+func (t *ClientTrace) EmitRequest(method, host, path string) {
+	if t == nil || t.Request == nil {
+		return
+	}
+	t.Request(method, host, path)
+}
+
+// EmitConnAcquired invokes ConnAcquired if installed.
+func (t *ClientTrace) EmitConnAcquired(host string, reused bool) {
+	if t == nil || t.ConnAcquired == nil {
+		return
+	}
+	t.ConnAcquired(host, reused)
+}
+
+// EmitRedirect invokes Redirect if installed.
+func (t *ClientTrace) EmitRedirect(op, fromHost, location string) {
+	if t == nil || t.Redirect == nil {
+		return
+	}
+	t.Redirect(op, fromHost, location)
+}
+
+// EmitRetry invokes Retry if installed.
+func (t *ClientTrace) EmitRetry(op, host string, attempt int, err error) {
+	if t == nil || t.Retry == nil {
+		return
+	}
+	t.Retry(op, host, attempt, err)
+}
+
+// EmitFailover invokes Failover if installed.
+func (t *ClientTrace) EmitFailover(fromHost, toHost string, err error) {
+	if t == nil || t.Failover == nil {
+		return
+	}
+	t.Failover(fromHost, toHost, err)
+}
+
+// EmitBreakerTrip invokes BreakerTrip if installed.
+func (t *ClientTrace) EmitBreakerTrip(host string) {
+	if t == nil || t.BreakerTrip == nil {
+		return
+	}
+	t.BreakerTrip(host)
+}
+
+// EmitCacheHit invokes CacheHit if installed.
+func (t *ClientTrace) EmitCacheHit(key string, blocks int64) {
+	if t == nil || t.CacheHit == nil {
+		return
+	}
+	t.CacheHit(key, blocks)
+}
+
+// EmitCacheMiss invokes CacheMiss if installed.
+func (t *ClientTrace) EmitCacheMiss(key string, blocks int64) {
+	if t == nil || t.CacheMiss == nil {
+		return
+	}
+	t.CacheMiss(key, blocks)
+}
+
+// EmitChunkStart invokes ChunkStart if installed.
+func (t *ClientTrace) EmitChunkStart(dir Direction, path string, idx int, off, length int64) {
+	if t == nil || t.ChunkStart == nil {
+		return
+	}
+	t.ChunkStart(dir, path, idx, off, length)
+}
+
+// EmitChunkDone invokes ChunkDone if installed.
+func (t *ClientTrace) EmitChunkDone(dir Direction, path string, idx int, off, length int64, err error) {
+	if t == nil || t.ChunkDone == nil {
+		return
+	}
+	t.ChunkDone(dir, path, idx, off, length, err)
+}
+
+// Merge composes two traces: every event fires a's hook, then b's. A nil
+// argument contributes nothing; merging with one nil returns the other
+// unchanged (no wrapper cost).
+func Merge(a, b *ClientTrace) *ClientTrace {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &ClientTrace{
+		OpStart: func(op, host, path string) {
+			a.EmitOpStart(op, host, path)
+			b.EmitOpStart(op, host, path)
+		},
+		OpDone: func(op, host, path string, d time.Duration, err error) {
+			a.EmitOpDone(op, host, path, d, err)
+			b.EmitOpDone(op, host, path, d, err)
+		},
+		Request: func(method, host, path string) {
+			a.EmitRequest(method, host, path)
+			b.EmitRequest(method, host, path)
+		},
+		ConnAcquired: func(host string, reused bool) {
+			a.EmitConnAcquired(host, reused)
+			b.EmitConnAcquired(host, reused)
+		},
+		Redirect: func(op, fromHost, location string) {
+			a.EmitRedirect(op, fromHost, location)
+			b.EmitRedirect(op, fromHost, location)
+		},
+		Retry: func(op, host string, attempt int, err error) {
+			a.EmitRetry(op, host, attempt, err)
+			b.EmitRetry(op, host, attempt, err)
+		},
+		Failover: func(fromHost, toHost string, err error) {
+			a.EmitFailover(fromHost, toHost, err)
+			b.EmitFailover(fromHost, toHost, err)
+		},
+		BreakerTrip: func(host string) {
+			a.EmitBreakerTrip(host)
+			b.EmitBreakerTrip(host)
+		},
+		CacheHit: func(key string, blocks int64) {
+			a.EmitCacheHit(key, blocks)
+			b.EmitCacheHit(key, blocks)
+		},
+		CacheMiss: func(key string, blocks int64) {
+			a.EmitCacheMiss(key, blocks)
+			b.EmitCacheMiss(key, blocks)
+		},
+		ChunkStart: func(dir Direction, path string, idx int, off, length int64) {
+			a.EmitChunkStart(dir, path, idx, off, length)
+			b.EmitChunkStart(dir, path, idx, off, length)
+		},
+		ChunkDone: func(dir Direction, path string, idx int, off, length int64, err error) {
+			a.EmitChunkDone(dir, path, idx, off, length, err)
+			b.EmitChunkDone(dir, path, idx, off, length, err)
+		},
+	}
+}
