@@ -11,7 +11,7 @@
 //
 // Experiments: fig1, fig2, fig3, fig4, fig4async, gap, failover,
 // multistream, window, poolsize, prefetch, federation, cache, vecpar,
-// meta, xfer, resil, obs, all.
+// meta, xfer, resil, obs, zerocopy, all.
 //
 // With -json, every table produced by the run is also written to the given
 // file as a JSON array — CI uses this to track the performance trajectory
@@ -86,6 +86,7 @@ func main() {
 		{"xfer", bench.Xfer},
 		{"resil", bench.Resil},
 		{"obs", bench.Obs},
+		{"zerocopy", bench.Zerocopy},
 	}
 
 	ran := 0

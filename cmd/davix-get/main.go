@@ -51,6 +51,9 @@ func verboseTrace(chunkBytes *atomic.Int64) *davix.ClientTrace {
 			fmt.Fprintf(os.Stderr, "davix-get: chunk %d (%s) done: %d bytes at offset %d (%d total)\n",
 				idx, dir, length, off, total)
 		},
+		TransferPath: func(dir davix.Direction, path string, bp davix.BytePath, bytes int64) {
+			fmt.Fprintf(os.Stderr, "davix-get: %d bytes (%s) moved via %s path\n", bytes, dir, bp)
+		},
 	}
 }
 
@@ -59,6 +62,10 @@ func printSummary(s davix.Snapshot) {
 	fmt.Fprintf(os.Stderr, "davix-get: %d requests, %d retries, %d redirects, %d failovers, %d bytes up, %d bytes down\n",
 		s.Engine.Requests, s.Engine.Retries, s.Engine.Redirects, s.Engine.Failovers,
 		s.Engine.BytesUp, s.Engine.BytesDown)
+	fmt.Fprintf(os.Stderr, "davix-get: byte path: %d kernel down, %d pooled down, %d kernel up, %d pooled up; %d transfers verified, %d mismatches\n",
+		s.Engine.KernelBytesDown, s.Engine.PooledBytesDown,
+		s.Engine.KernelBytesUp, s.Engine.PooledBytesUp,
+		s.Engine.TransfersVerified, s.Engine.ChecksumMismatches)
 	fmt.Fprintf(os.Stderr, "davix-get: pool: %d dials, %d reuses, %d discards\n",
 		s.Pool.Dials, s.Pool.Reuses, s.Pool.Discards)
 	for _, q := range s.Expo().Quantiles {
@@ -80,7 +87,7 @@ func main() {
 	token := flag.String("token", "", "bearer token for Authorization")
 	user := flag.String("user", "", "username for HTTP Basic auth (with -password)")
 	password := flag.String("password", "", "password for HTTP Basic auth")
-	verify := flag.Bool("verify", false, "verify adler32 checksums end to end")
+	verify := flag.Bool("verify", false, "verify checksums end to end (inline digests on streaming transfers)")
 	s3Key := flag.String("s3-key", "", "AWS access key (SigV4 signing, with -s3-secret)")
 	s3Secret := flag.String("s3-secret", "", "AWS secret key")
 	s3Region := flag.String("s3-region", "us-east-1", "AWS region for SigV4 scope")
@@ -115,6 +122,7 @@ func main() {
 		MetalinkHost:    *metalinkHost,
 		Auth:            creds,
 		VerifyChecksums: *verify,
+		VerifyTransfers: *verify,
 		S3:              s3creds,
 		Trace:           trace,
 	})
@@ -135,14 +143,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "copied %s -> %s (server to server)\n", url, *copyTo)
 
 	case *putFile != "":
-		data, err := os.ReadFile(*putFile)
+		// Stream straight from the open file: the body never materializes
+		// in client memory, and on a plain-TCP connection the kernel
+		// sendfile path moves it without a userspace copy.
+		f, err := os.Open(*putFile)
 		if err != nil {
 			log.Fatalf("davix-get: %v", err)
 		}
-		if err := client.Put(ctx, url, data); err != nil {
+		st, err := f.Stat()
+		if err != nil {
+			log.Fatalf("davix-get: %v", err)
+		}
+		if err := client.PutReader(ctx, url, f, st.Size()); err != nil {
 			log.Fatalf("davix-get: put: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "uploaded %d bytes to %s\n", len(data), url)
+		f.Close()
+		fmt.Fprintf(os.Stderr, "uploaded %d bytes to %s\n", st.Size(), url)
 
 	case *doStat:
 		inf, err := client.Stat(ctx, url)
@@ -193,6 +209,25 @@ func main() {
 		}
 
 	default:
+		if *out != "" {
+			// Download straight into the opened file: chunks scatter to
+			// their offsets without the object ever materializing in client
+			// memory, and with -verify off the kernel splice path moves the
+			// payload without a userspace copy (-v shows which path ran).
+			f, err := os.Create(*out)
+			if err != nil {
+				log.Fatalf("davix-get: %v", err)
+			}
+			n, err := client.DownloadMultiStreamTo(ctx, url, f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				log.Fatalf("davix-get: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "downloaded %d bytes to %s\n", n, *out)
+			break
+		}
 		var data []byte
 		var err error
 		if *multiStream {
@@ -203,20 +238,8 @@ func main() {
 		if err != nil {
 			log.Fatalf("davix-get: %v", err)
 		}
-		w := os.Stdout
-		if *out != "" {
-			f, err := os.Create(*out)
-			if err != nil {
-				log.Fatalf("davix-get: %v", err)
-			}
-			defer f.Close()
-			w = f
-		}
-		if _, err := w.Write(data); err != nil {
+		if _, err := os.Stdout.Write(data); err != nil {
 			log.Fatalf("davix-get: %v", err)
-		}
-		if *out != "" {
-			fmt.Fprintf(os.Stderr, "downloaded %d bytes to %s\n", len(data), *out)
 		}
 	}
 }

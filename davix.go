@@ -51,6 +51,7 @@ package davix
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"io"
 	"log/slog"
@@ -177,8 +178,24 @@ type Options struct {
 	// VerifyChecksums enables end-to-end adler32 verification of full
 	// GETs and multi-stream downloads.
 	VerifyChecksums bool
+	// VerifyTransfers enables inline end-to-end integrity for streaming
+	// transfers: incremental digests accumulate per chunk as the bytes
+	// move and combine into the whole-object value (adler32/crc32 combine
+	// math), verified against the server's Digest/Want-Digest headers or
+	// checksum property at zero extra reads. Failures surface as
+	// ErrChecksumMismatch naming the offending byte span; a server
+	// checksum in an unimplemented algorithm fails with
+	// ErrChecksumUnsupported instead of being skipped. Verification must
+	// observe every byte in userspace, so it routes transfers onto the
+	// pooled-buffer path instead of the kernel sendfile/splice fast path.
+	VerifyTransfers bool
 	// S3 signs every request with AWS Signature V4 (cloud-storage mode).
 	S3 *S3Credentials
+	// TLS, when non-nil, upgrades every pooled connection to TLS with this
+	// configuration. A session cache shared across the pool's host shards
+	// is installed when the config does not bring its own, so reconnects
+	// resume sessions instead of paying full handshakes.
+	TLS *tls.Config
 
 	// CacheSize enables the shared client-side block cache: total bytes
 	// of remote data kept in memory across all files (0 = no caching,
@@ -226,6 +243,19 @@ const (
 	Up = obs.Up
 )
 
+// BytePath tells a TransferPath trace hook which copy machinery moved a
+// transfer span's payload.
+type BytePath = obs.BytePath
+
+// Byte paths reported by the TransferPath trace hook.
+const (
+	// PathKernel marks payload moved by the kernel zero-copy fast path
+	// (sendfile/splice) without entering userspace.
+	PathKernel = obs.PathKernel
+	// PathPooled marks payload copied through pooled userspace buffers.
+	PathPooled = obs.PathPooled
+)
+
 // Snapshot is the unified client stat surface: engine, cache and pool
 // counters captured in one call; see Client.Snapshot.
 type Snapshot = core.Snapshot
@@ -247,6 +277,15 @@ type Credentials = core.Credentials
 
 // ErrChecksumMismatch reports a failed end-to-end integrity check.
 var ErrChecksumMismatch = core.ErrChecksumMismatch
+
+// ErrChecksumUnsupported reports a server checksum in an algorithm this
+// client does not implement, surfaced when Options.VerifyTransfers demands
+// verification rather than silently skipping it.
+var ErrChecksumUnsupported = core.ErrChecksumUnsupported
+
+// ChecksumError is the concrete error behind ErrChecksumMismatch: it names
+// the offending byte span and both digest values. Retrieve with errors.As.
+type ChecksumError = core.ChecksumError
 
 // ErrFileClosed reports use of a File after Close.
 var ErrFileClosed = core.ErrFileClosed
@@ -294,7 +333,9 @@ func New(opts Options) (*Client, error) {
 		HealthProbeAfter:    opts.HealthProbeAfter,
 		Auth:                opts.Auth,
 		VerifyChecksums:     opts.VerifyChecksums,
+		VerifyTransfers:     opts.VerifyTransfers,
 		S3:                  opts.S3,
+		TLS:                 opts.TLS,
 		CacheSize:           opts.CacheSize,
 		BlockSize:           opts.BlockSize,
 		ReadAhead:           opts.ReadAhead,

@@ -7,6 +7,7 @@ package core
 
 import (
 	"context"
+	"crypto/tls"
 	"encoding/base64"
 	"errors"
 	"fmt"
@@ -87,6 +88,13 @@ type Options struct {
 	// it is not exposed in the public API.
 	LegacyPropfindDecode bool
 
+	// LegacyChunkBuffers switches DownloadMultiStreamTo back to the
+	// chunk-materialize path (each chunk fetched whole into a pooled
+	// ChunkSize buffer before one WriteAt). Only the zerocopy benchmark
+	// sets it, to quantify what the streaming scatter and the kernel
+	// fast path save; it is not exposed in the public API.
+	LegacyChunkBuffers bool
+
 	// UploadParallelism bounds how many ChunkSize chunks of one
 	// UploadMultiStream (or pull-mode CopyStream) are in flight
 	// concurrently, each as a Content-Range PUT on its own pooled
@@ -144,6 +152,26 @@ type Options struct {
 	// GETs are compared against the server's X-Checksum header and
 	// multi-stream downloads against the Metalink checksum.
 	VerifyChecksums bool
+
+	// VerifyTransfers enables inline end-to-end integrity for streaming
+	// transfers: tee'd incremental digests accumulate per chunk during
+	// multi-stream uploads and downloads and combine into the whole-object
+	// value (adler32/crc32 combine math), verified against the server's
+	// Digest/Want-Digest headers or checksum property at zero extra reads.
+	// Failures surface as ErrChecksumMismatch naming the offending byte
+	// span; known-but-unimplemented server algorithms fail with
+	// ErrChecksumUnsupported instead of being skipped. Verification needs
+	// to observe every byte in userspace, so it routes transfers onto the
+	// pooled-buffer path (the kernel sendfile/splice path reports itself
+	// via Snapshot counters when this is off).
+	VerifyTransfers bool
+
+	// TLS, when non-nil, upgrades every pooled connection to a TLS client
+	// session with this configuration. A ClientSessionCache shared across
+	// all pool shards is installed when the config does not bring its own,
+	// so reconnect-heavy profiles resume sessions instead of paying full
+	// handshakes (pool.Stats.TLSResumes counts the saves).
+	TLS *tls.Config
 
 	// CacheSize enables the shared client-side block cache: the total
 	// number of remote-data bytes kept in memory across all files
@@ -301,8 +329,12 @@ func NewClient(opts Options) (*Client, error) {
 	c.trace = obs.Merge(opts.Trace, obs.SlogTrace(opts.Logger))
 	c.health = newHealthBoard(opts.HealthThreshold, opts.HealthProbeAfter)
 	c.health.trace = c.trace
-	// Every connection counts its wire bytes into the client metrics.
-	c.pool = pool.New(countingDialer{d: opts.Dialer, m: &c.metrics}, opts.Pool)
+	// Every connection counts its wire bytes into the client metrics. TLS,
+	// when configured, wraps OVER the counting layer so the counters see
+	// ciphertext — the bytes that actually crossed the wire.
+	poolOpts := opts.Pool
+	poolOpts.TLS = opts.TLS
+	c.pool = pool.New(countingDialer{d: opts.Dialer, m: &c.metrics}, poolOpts)
 	if opts.CacheSize > 0 {
 		bg, cancel := context.WithCancel(context.Background())
 		c.bgCancel = cancel
@@ -553,8 +585,14 @@ func statusErr(resp *Response, method, path string) error {
 	return &StatusError{Code: resp.StatusCode, Status: resp.Status, Method: method, Path: path}
 }
 
+// ErrNoMetalink reports a server that answered a Metalink negotiation with
+// something other than a Metalink document (typically the object itself).
+var ErrNoMetalink = errors.New("davix: server returned no metalink")
+
 // GetMetalink fetches the Metalink document for path. The federation host
 // is preferred when configured; otherwise the resource's own host is asked.
+// A server that ignores the Accept negotiation and streams the object body
+// instead yields ErrNoMetalink without the probe consuming the payload.
 func (c *Client) GetMetalink(ctx context.Context, host, path string) (*metalink.Metalink, error) {
 	target := host
 	if c.opts.MetalinkHost != "" {
@@ -568,6 +606,15 @@ func (c *Client) GetMetalink(ctx context.Context, host, path string) (*metalink.
 	}, func(_ Replica, resp *Response) error {
 		if resp.StatusCode != 200 {
 			return statusErr(resp, "GET(metalink)", path)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, metalink.MediaType) {
+			// The server ignored the negotiation and is streaming the
+			// object itself. A discovery probe must never cost a payload
+			// read: Close drains at most 64KiB before giving the
+			// connection up, instead of draining an object-sized body
+			// just to fail the Metalink decode.
+			resp.Close()
+			return ErrNoMetalink
 		}
 		body, err := resp.ReadAllAndClose()
 		if err != nil {

@@ -170,18 +170,34 @@ func TestChecksumVerification(t *testing.T) {
 	// Simulate by serving through a raw handler is heavy; instead verify
 	// the checker directly and via a corrupted store entry with a stale
 	// checksum header captured from the original object.
-	if err := verifyChecksum(blob, storage.Checksum(blob), "/f"); err != nil {
+	if err := verifyChecksum(blob, storage.Checksum(blob), "/f", false); err != nil {
 		t.Fatalf("matching checksum rejected: %v", err)
 	}
-	if err := verifyChecksum([]byte("tampered!"), storage.Checksum(blob), "/f"); !errors.Is(err, ErrChecksumMismatch) {
+	if err := verifyChecksum([]byte("tampered!"), storage.Checksum(blob), "/f", false); !errors.Is(err, ErrChecksumMismatch) {
 		t.Fatalf("mismatch not detected: %v", err)
 	}
-	// Unknown algorithms are skipped.
-	if err := verifyChecksum(blob, "md5:abcdef", "/f"); err != nil {
-		t.Fatalf("unknown algo rejected: %v", err)
+	// Unknown algorithms are skipped opportunistically but fail strict mode.
+	if err := verifyChecksum(blob, "sha256:00", "/f", false); err != nil {
+		t.Fatalf("unknown algo rejected in lax mode: %v", err)
 	}
-	if err := verifyChecksum(blob, "garbage-no-colon", "/f"); err != nil {
-		t.Fatalf("malformed checksum rejected: %v", err)
+	if err := verifyChecksum(blob, "sha256:00", "/f", true); !errors.Is(err, ErrChecksumUnsupported) {
+		t.Fatalf("unknown algo in strict mode: got %v, want ErrChecksumUnsupported", err)
+	}
+	// Malformed values must never pass verification, strict or not.
+	if err := verifyChecksum(blob, "garbage-no-colon", "/f", false); err == nil {
+		t.Fatal("malformed (no colon) accepted")
+	}
+	if err := verifyChecksum(blob, "md5:abcdef", "/f", false); err == nil {
+		t.Fatal("wrong-length md5 accepted")
+	}
+	if err := verifyChecksum(blob, "adler32:zzzzzzzz", "/f", false); err == nil {
+		t.Fatal("non-hex adler32 accepted")
+	}
+	// The mismatch error names the offending byte span.
+	err = verifyChecksum([]byte("tampered!"), storage.Checksum(blob), "/f", false)
+	var ce *ChecksumError
+	if !errors.As(err, &ce) || ce.Length != int64(len("tampered!")) {
+		t.Fatalf("mismatch error lacks span: %v", err)
 	}
 }
 

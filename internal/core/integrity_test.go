@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"godavix/internal/httpserv"
+	"godavix/internal/storage"
+)
+
+// TestDownloadVerifiedCatchesCorruption proves the inline-integrity claim
+// end to end: the server flips exactly one bit of the payload while its
+// X-Checksum and Digest headers keep advertising the pristine content, and
+// the verified multi-stream download must fail with ErrChecksumMismatch
+// naming a byte span that contains the flipped byte. A non-verifying
+// client (below) swallows the same corruption silently — that contrast is
+// the whole point of VerifyTransfers.
+func TestDownloadVerifiedCatchesCorruption(t *testing.T) {
+	const chunk = 4 << 10
+	const corruptAt = 9000 // inside chunk 2: [8192, 12288)
+	e := newEnv(t, Options{Strategy: StrategyNone, ChunkSize: chunk, MaxStreams: 4, VerifyTransfers: true})
+	e.startServer(t, dpm1, httpserv.Options{})
+	blob := uploadBlob(48<<10, 47)
+	e.stores[dpm1].Put("/f", blob)
+	e.srvs[dpm1].SetFault("/f", httpserv.Fault{CorruptXOR: 0x01, CorruptAt: corruptAt})
+
+	w := &bufWriterAt{b: make([]byte, len(blob))}
+	_, err := e.client.DownloadMultiStreamTo(context.Background(), dpm1, "/f", w)
+	if !errors.Is(err, ErrChecksumMismatch) {
+		t.Fatalf("err = %v, want ErrChecksumMismatch", err)
+	}
+	var ce *ChecksumError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want a *ChecksumError inside", err)
+	}
+	if corruptAt < ce.Off || corruptAt >= ce.Off+ce.Length {
+		t.Fatalf("reported span [%d,%d) does not contain the flipped byte at %d",
+			ce.Off, ce.Off+ce.Length, corruptAt)
+	}
+	// The per-range Digest pinpointed the chunk, not just the object.
+	if ce.Length >= int64(len(blob)) {
+		t.Fatalf("span [%d,%d) is the whole object; want chunk-exact", ce.Off, ce.Off+ce.Length)
+	}
+	if m := e.client.Metrics(); m.ChecksumMismatches == 0 {
+		t.Fatal("ChecksumMismatches not counted")
+	}
+}
+
+// TestDownloadUnverifiedMissesCorruption is the control: without
+// VerifyTransfers the same single-bit flip sails through, which is exactly
+// why the verified path exists.
+func TestDownloadUnverifiedMissesCorruption(t *testing.T) {
+	e := newEnv(t, Options{Strategy: StrategyNone, ChunkSize: 4 << 10, MaxStreams: 4})
+	e.startServer(t, dpm1, httpserv.Options{})
+	blob := uploadBlob(48<<10, 48)
+	e.stores[dpm1].Put("/f", blob)
+	e.srvs[dpm1].SetFault("/f", httpserv.Fault{CorruptXOR: 0x01, CorruptAt: 9000})
+
+	w := &bufWriterAt{b: make([]byte, len(blob))}
+	if _, err := e.client.DownloadMultiStreamTo(context.Background(), dpm1, "/f", w); err != nil {
+		t.Fatalf("unverified download failed: %v", err)
+	}
+	if bytes.Equal(w.b, blob) {
+		t.Fatal("corruption fault did not corrupt anything")
+	}
+}
+
+// TestDownloadVerifiedPasses checks the happy path: chunk digests combine
+// into the whole-object adler32, match the server checksum, and the byte
+// accounting classifies every payload byte onto the pooled path (netsim
+// pipes cannot run the kernel path, and verification forbids it anyway).
+func TestDownloadVerifiedPasses(t *testing.T) {
+	e := newEnv(t, Options{Strategy: StrategyNone, ChunkSize: 4 << 10, MaxStreams: 4, VerifyTransfers: true})
+	e.startServer(t, dpm1, httpserv.Options{})
+	blob := uploadBlob(48<<10, 49)
+	e.stores[dpm1].Put("/f", blob)
+
+	w := &bufWriterAt{b: make([]byte, len(blob))}
+	n, err := e.client.DownloadMultiStreamTo(context.Background(), dpm1, "/f", w)
+	if err != nil || n != int64(len(blob)) {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(w.b, blob) {
+		t.Fatal("content mismatch")
+	}
+	m := e.client.Metrics()
+	if m.TransfersVerified != 1 {
+		t.Fatalf("TransfersVerified = %d, want 1", m.TransfersVerified)
+	}
+	if m.ChecksumMismatches != 0 {
+		t.Fatalf("ChecksumMismatches = %d, want 0", m.ChecksumMismatches)
+	}
+	if m.KernelBytesDown != 0 {
+		t.Fatalf("KernelBytesDown = %d, want 0 over netsim", m.KernelBytesDown)
+	}
+	// Every payload byte is classified exactly once — the byte-path
+	// counters must reconcile with the object size, not double-count.
+	if m.PooledBytesDown != int64(len(blob)) {
+		t.Fatalf("PooledBytesDown = %d, want %d", m.PooledBytesDown, len(blob))
+	}
+}
+
+// TestPutReaderVerified streams an upload through the digest tee: the
+// server echoes the Digest of what it stored, the client compares it
+// against the sum it accumulated inline, and the stat cache ends up primed
+// with the checksum at zero extra reads.
+func TestPutReaderVerified(t *testing.T) {
+	e := newEnv(t, Options{Strategy: StrategyNone, VerifyTransfers: true, StatTTL: time.Minute})
+	e.startServer(t, dpm1, httpserv.Options{})
+	blob := uploadBlob(128<<10, 50)
+
+	err := e.client.PutReader(context.Background(), dpm1, "/up", bytes.NewReader(blob), int64(len(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := e.stores[dpm1].Get("/up")
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("stored %d bytes err=%v", len(got), err)
+	}
+	m := e.client.Metrics()
+	if m.TransfersVerified != 1 {
+		t.Fatalf("TransfersVerified = %d, want 1", m.TransfersVerified)
+	}
+	// The digest accumulated inline primed the stat cache: the follow-up
+	// Stat is a memory hit that already knows the checksum.
+	puts := e.srvs[dpm1].RequestsByMethod("HEAD")
+	inf, err := e.client.Stat(context.Background(), dpm1, "/up")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.Checksum != storage.Checksum(blob) {
+		t.Fatalf("primed checksum %q, want %q", inf.Checksum, storage.Checksum(blob))
+	}
+	if e.srvs[dpm1].RequestsByMethod("HEAD") != puts {
+		t.Fatal("Stat after verified PutReader hit the server")
+	}
+}
+
+// TestUploadMultiStreamInlineDigest runs the chunked upload with
+// verification on: per-chunk sums combine into the whole-object adler32
+// with zero re-reads of the source, and the assembled object matches.
+func TestUploadMultiStreamInlineDigest(t *testing.T) {
+	e := newEnv(t, Options{Strategy: StrategyNone, ChunkSize: 4 << 10, UploadParallelism: 4, VerifyTransfers: true})
+	e.startServer(t, dpm1, httpserv.Options{})
+	blob := uploadBlob(40<<10, 51)
+
+	err := e.client.UploadMultiStream(context.Background(), dpm1, "/multi", bytes.NewReader(blob), int64(len(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, inf, err := e.stores[dpm1].Get("/multi")
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("stored %d bytes err=%v", len(got), err)
+	}
+	if inf.Checksum != storage.Checksum(blob) {
+		t.Fatalf("server checksum %q, want %q", inf.Checksum, storage.Checksum(blob))
+	}
+}

@@ -2,12 +2,16 @@ package core
 
 import (
 	"context"
+	"io"
 	"math/bits"
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
+	"godavix/internal/bufpool"
+	"godavix/internal/obs"
 	"godavix/internal/pool"
 )
 
@@ -41,6 +45,22 @@ type Metrics struct {
 	// charged once.
 	BytesUp   int64
 	BytesDown int64
+	// KernelBytesUp/KernelBytesDown count transfer payload bytes the kernel
+	// fast path moved (sendfile/splice — the bytes never crossed userspace);
+	// PooledBytesUp/PooledBytesDown count payload bytes that went through
+	// the pooled copy buffers instead. Only the streaming transfer paths
+	// (DownloadMultiStreamTo to a file, PutReader/UploadMultiStream from a
+	// file) classify their bytes; header traffic and byte-slice operations
+	// never count here.
+	KernelBytesUp   int64
+	KernelBytesDown int64
+	PooledBytesUp   int64
+	PooledBytesDown int64
+	// TransfersVerified counts transfers whose inline end-to-end digest
+	// matched the server value; ChecksumMismatches counts the ones that
+	// did not (each of those also failed with ErrChecksumMismatch).
+	TransfersVerified  int64
+	ChecksumMismatches int64
 	// Ops maps an operation label ("GET", "PUT(range)", "PROPFIND", ...)
 	// to its latency distribution as experienced by the caller: one entry
 	// per engine execution, retries and failover included.
@@ -111,6 +131,9 @@ func quantile(counts []int64, total int64, q float64) time.Duration {
 type metrics struct {
 	requests, retries, redirects, failovers, breakerTrips atomic.Int64
 	bytesUp, bytesDown                                    atomic.Int64
+	kernelBytesUp, kernelBytesDown                        atomic.Int64
+	pooledBytesUp, pooledBytesDown                        atomic.Int64
+	transfersVerified, checksumMismatches                 atomic.Int64
 	ops                                                   sync.Map // string -> *opHist
 }
 
@@ -131,14 +154,20 @@ func (m *metrics) observe(op string, d time.Duration) {
 // snapshot renders the public view.
 func (m *metrics) snapshot() Metrics {
 	s := Metrics{
-		Requests:     m.requests.Load(),
-		Retries:      m.retries.Load(),
-		Redirects:    m.redirects.Load(),
-		Failovers:    m.failovers.Load(),
-		BreakerTrips: m.breakerTrips.Load(),
-		BytesUp:      m.bytesUp.Load(),
-		BytesDown:    m.bytesDown.Load(),
-		Ops:          map[string]OpStats{},
+		Requests:           m.requests.Load(),
+		Retries:            m.retries.Load(),
+		Redirects:          m.redirects.Load(),
+		Failovers:          m.failovers.Load(),
+		BreakerTrips:       m.breakerTrips.Load(),
+		BytesUp:            m.bytesUp.Load(),
+		BytesDown:          m.bytesDown.Load(),
+		KernelBytesUp:      m.kernelBytesUp.Load(),
+		KernelBytesDown:    m.kernelBytesDown.Load(),
+		PooledBytesUp:      m.pooledBytesUp.Load(),
+		PooledBytesDown:    m.pooledBytesDown.Load(),
+		TransfersVerified:  m.transfersVerified.Load(),
+		ChecksumMismatches: m.checksumMismatches.Load(),
+		Ops:                map[string]OpStats{},
 	}
 	m.ops.Range(func(k, v any) bool {
 		h := v.(*opHist)
@@ -223,4 +252,70 @@ func (c *countingConn) flush() {
 func (c *countingConn) drop() {
 	c.pendDown.Store(0)
 	c.pendUp.Store(0)
+}
+
+// Unwrap exposes the transport connection underneath the counting layer.
+// The zero-copy download path hands the raw conn to os.File.ReadFrom so the
+// kernel splice engages (an interface-embedding wrapper hides the
+// syscall.Conn the runtime needs); the caller then accounts the moved bytes
+// via addPendDown, keeping the exchange's wire accounting exact.
+func (c *countingConn) Unwrap() net.Conn { return c.Conn }
+
+// addPendDown stages n payload bytes read directly off the raw conn (past
+// the counting Read) into the exchange's pending downlink counter.
+func (c *countingConn) addPendDown(n int64) {
+	if n > 0 {
+		c.pendDown.Add(n)
+	}
+}
+
+// ReadFrom forwards to the transport's own ReadFrom when it has one, so an
+// io.Copy from an *os.File body lands in net.TCPConn.ReadFrom and the
+// kernel sendfile path engages — the counting layer would otherwise hide
+// the interface and silently force userspace copies. Bytes are staged into
+// the pending uplink counter either way.
+func (c *countingConn) ReadFrom(r io.Reader) (int64, error) {
+	if rf, ok := c.Conn.(io.ReaderFrom); ok {
+		n, err := rf.ReadFrom(r)
+		c.pendUp.Add(n)
+		return n, err
+	}
+	// No transport support: plain copy through the counting Write.
+	buf := bufpool.Get(64 << 10)
+	n, err := io.CopyBuffer(struct{ io.Writer }{c}, r, buf)
+	bufpool.Put(buf)
+	return n, err
+}
+
+// kernelEligible reports whether conn's transport can run kernel zero-copy
+// against a file: the raw connection (beneath the counting layer) must
+// expose a syscall descriptor for sendfile/splice — true for real TCP,
+// false for netsim's in-memory pipes and for TLS (the record layer must see
+// every byte).
+func kernelEligible(conn net.Conn) bool {
+	cc, ok := conn.(*countingConn)
+	if !ok {
+		return false
+	}
+	_, ok = cc.Unwrap().(syscall.Conn)
+	return ok
+}
+
+// recordBytePath settles one transfer span's byte-path accounting: the
+// Snapshot counters and the TransferPath trace event.
+func (c *Client) recordBytePath(dir obs.Direction, path string, bp obs.BytePath, n int64) {
+	if n <= 0 {
+		return
+	}
+	switch {
+	case dir == obs.Down && bp == obs.PathKernel:
+		c.metrics.kernelBytesDown.Add(n)
+	case dir == obs.Down && bp == obs.PathPooled:
+		c.metrics.pooledBytesDown.Add(n)
+	case dir == obs.Up && bp == obs.PathKernel:
+		c.metrics.kernelBytesUp.Add(n)
+	case dir == obs.Up && bp == obs.PathPooled:
+		c.metrics.pooledBytesUp.Add(n)
+	}
+	c.trace.EmitTransferPath(dir, path, bp, n)
 }

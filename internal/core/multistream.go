@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"godavix/internal/metalink"
@@ -55,6 +56,17 @@ func (c *Client) downloadFromMetalink(ctx context.Context, ml *metalink.Metalink
 	})
 	if err != nil {
 		return nil, err
+	}
+	if c.opts.VerifyTransfers && ml.Checksum != "" {
+		// The object is materialized anyway, so whole-buffer verification
+		// against the Metalink checksum is free of extra reads.
+		if err := verifyChecksum(out, ml.Checksum, primary.Path, true); err != nil {
+			if errors.Is(err, ErrChecksumMismatch) {
+				c.metrics.checksumMismatches.Add(1)
+			}
+			return nil, err
+		}
+		c.metrics.transfersVerified.Add(1)
 	}
 	return out, nil
 }

@@ -48,7 +48,7 @@ func (c *Client) Get(ctx context.Context, host, path string) ([]byte, error) {
 			return err
 		}
 		if c.opts.VerifyChecksums && want != "" {
-			if err := verifyChecksum(body, want, path); err != nil {
+			if err := verifyChecksum(body, want, path, c.opts.VerifyTransfers); err != nil {
 				return err
 			}
 		}

@@ -46,6 +46,12 @@ func (s Snapshot) Expo() obs.Snapshot {
 		{Name: "breaker_trips_total", Help: "Per-host health-scoreboard demotions.", Value: s.Engine.BreakerTrips},
 		{Name: "bytes_up_total", Help: "Wire bytes sent across settled exchanges (headers included).", Value: s.Engine.BytesUp},
 		{Name: "bytes_down_total", Help: "Wire bytes received across settled exchanges (headers included).", Value: s.Engine.BytesDown},
+		{Name: "kernel_bytes_up_total", Help: "Upload payload bytes moved by the kernel zero-copy path (sendfile/splice).", Value: s.Engine.KernelBytesUp},
+		{Name: "kernel_bytes_down_total", Help: "Download payload bytes moved by the kernel zero-copy path (sendfile/splice).", Value: s.Engine.KernelBytesDown},
+		{Name: "pooled_bytes_up_total", Help: "Upload payload bytes copied through pooled userspace buffers.", Value: s.Engine.PooledBytesUp},
+		{Name: "pooled_bytes_down_total", Help: "Download payload bytes copied through pooled userspace buffers.", Value: s.Engine.PooledBytesDown},
+		{Name: "transfers_verified_total", Help: "Transfers whose inline end-to-end digest matched the server value.", Value: s.Engine.TransfersVerified},
+		{Name: "checksum_mismatches_total", Help: "Transfers failed by an inline digest mismatch.", Value: s.Engine.ChecksumMismatches},
 		{Name: "cache_hits_total", Help: "Blocks served from the in-memory cache.", Value: s.Cache.Hits},
 		{Name: "cache_misses_total", Help: "Blocks a demand read had to fetch.", Value: s.Cache.Misses},
 		{Name: "cache_evictions_total", Help: "Blocks dropped to make room at capacity.", Value: s.Cache.Evictions},
@@ -57,6 +63,8 @@ func (s Snapshot) Expo() obs.Snapshot {
 		{Name: "pool_dials_total", Help: "New transport connections established.", Value: s.Pool.Dials},
 		{Name: "pool_reuses_total", Help: "Requests served on a recycled connection.", Value: s.Pool.Reuses},
 		{Name: "pool_discards_total", Help: "Connections dropped (TTL, max-uses, error, overflow).", Value: s.Pool.Discards},
+		{Name: "pool_tls_handshakes_total", Help: "Completed TLS handshakes.", Value: s.Pool.TLSHandshakes},
+		{Name: "pool_tls_resumes_total", Help: "TLS handshakes that resumed a cached session.", Value: s.Pool.TLSResumes},
 	}}
 	ops := make([]string, 0, len(s.Engine.Ops))
 	for op := range s.Engine.Ops {

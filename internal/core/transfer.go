@@ -1,14 +1,23 @@
 package core
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
+	"os"
+	"strconv"
+	"sync"
 
 	"godavix/internal/bufpool"
+	"godavix/internal/digest"
 	"godavix/internal/metalink"
 	"godavix/internal/obs"
+	"godavix/internal/wire"
 )
 
 // readChunkReplicas fetches [off, off+len(dst)) into dst, spreading load by
@@ -22,9 +31,7 @@ func (c *Client) readChunkReplicas(ctx context.Context, replicas []Replica, idx 
 	path := replicas[0].Path
 	c.trace.EmitChunkStart(obs.Down, path, idx, off, int64(len(dst)))
 	defer func() { c.trace.EmitChunkDone(obs.Down, path, idx, off, int64(len(dst)), err) }()
-	// tryOne returns (done, err): done means the walk must stop — success,
-	// caller cancellation, or a semantic failure every replica reproduces.
-	tryOne := func(rep Replica) (bool, error) {
+	return c.walkReplicaRing(ctx, replicas, idx, func(rep Replica) (bool, error) {
 		n, err := c.getRangeInto(ctx, rep.Host, rep.Path, off, dst)
 		if err == nil && n == len(dst) {
 			return true, nil
@@ -33,8 +40,14 @@ func (c *Client) readChunkReplicas(ctx context.Context, replicas []Replica, idx 
 			err = fmt.Errorf("davix: short chunk from %s: %d < %d", rep.Host, n, len(dst))
 		}
 		return ctx.Err() != nil || !replicaUnavailable(err), err
-	}
+	})
+}
 
+// walkReplicaRing runs tryOne over the health-ordered replica ring starting
+// at idx mod len(replicas). tryOne returns (done, err): done means the walk
+// must stop — success, caller cancellation, or a semantic failure every
+// replica reproduces.
+func (c *Client) walkReplicaRing(ctx context.Context, replicas []Replica, idx int, tryOne func(Replica) (bool, error)) error {
 	ring := c.health.order(replicas)
 	var lastErr error
 	var skipped []Replica
@@ -90,10 +103,279 @@ func metalinkReplicas(reps []Replica, ml *metalink.Metalink) []Replica {
 	return reps
 }
 
+// scatterResult reports one streamed chunk fetch.
+type scatterResult struct {
+	n        int64  // payload bytes delivered
+	sum      uint32 // chunk digest under the transfer algorithm
+	summed   bool   // sum is valid (verification was on)
+	verified bool   // the server sent a per-chunk Digest and it matched
+}
+
+// scatterChunkReplicas streams chunk idx covering [off, off+ln) straight
+// into dst, walking the replica ring exactly like readChunkReplicas but
+// without ever materializing the chunk. fastName names the target file for
+// the kernel splice path ("" disables it); algo is the inline digest
+// algorithm. sum tees the body through the chunk digest; perChunk
+// additionally asks the server to commit to a per-range Digest and compares
+// it inline (the costlier mode — the server must hash the range before its
+// first body byte).
+func (c *Client) scatterChunkReplicas(ctx context.Context, replicas []Replica, idx int, off, ln int64, dst io.WriterAt, fastName, algo string, sum, perChunk bool) (res scatterResult, err error) {
+	path := replicas[0].Path
+	c.trace.EmitChunkStart(obs.Down, path, idx, off, ln)
+	defer func() { c.trace.EmitChunkDone(obs.Down, path, idx, off, ln, err) }()
+	err = c.walkReplicaRing(ctx, replicas, idx, func(rep Replica) (bool, error) {
+		r, err := c.getRangeScatter(ctx, rep.Host, rep.Path, path, off, ln, dst, fastName, algo, sum, perChunk)
+		if err == nil && r.n == ln {
+			res = r
+			return true, nil
+		}
+		if err == nil {
+			err = fmt.Errorf("davix: short chunk from %s: %d < %d", rep.Host, r.n, ln)
+		}
+		return ctx.Err() != nil || !replicaUnavailable(err), err
+	})
+	return res, err
+}
+
+// getRangeScatter fetches [off, off+ln) from exactly one replica, streaming
+// the body into dst at its object offset — the chunk never exists whole in
+// client memory. objPath labels the transfer for byte-path accounting.
+// Replica selection belongs to the caller; the engine applies redirects and
+// the retry budget but no failover here.
+func (c *Client) getRangeScatter(ctx context.Context, host, path, objPath string, off, ln int64, dst io.WriterAt, fastName, algo string, sum, perChunk bool) (scatterResult, error) {
+	rangeVal := "bytes=" + strconv.FormatInt(off, 10) + "-" + strconv.FormatInt(off+ln-1, 10)
+	var res scatterResult
+	err := c.exec(ctx, host, path, specChunk, func(h, p string) *wire.Request {
+		req := wire.NewRequest("GET", h, p)
+		req.Header.Set("Range", rangeVal)
+		if perChunk {
+			req.Header.Set("Want-Digest", algo)
+		}
+		return req
+	}, func(_ Replica, resp *Response) error {
+		res = scatterResult{}
+		skip := int64(0)
+		switch resp.StatusCode {
+		case 206:
+		case 200:
+			// Range-ignorant server: the body is the whole object; skip
+			// the prefix and stream just our slice.
+			skip = off
+		default:
+			return statusErr(resp, "GET", path)
+		}
+		return c.scatterBody(resp, skip, off, ln, dst, fastName, objPath, algo, sum, &res)
+	})
+	if err != nil {
+		return scatterResult{}, err
+	}
+	return res, nil
+}
+
+// scatterBody drains resp's payload slice into dst at offset off. Three
+// shapes, fastest first:
+//
+//   - kernel: dst is a real file (fastName), nothing needs the bytes in
+//     userspace (no digest), and the connection bottoms out in a socket —
+//     Response.WriteBodyTo hands the raw conn to os.File.ReadFrom and the
+//     runtime's splice moves the payload entirely inside the kernel.
+//   - pooled: a 64 KiB pooled buffer streams body → dst.WriteAt at an
+//     advancing offset, optionally teeing each read into the chunk digest.
+//   - prefix-skip (skip > 0): a range-ignorant server sent the whole
+//     object; the prefix is discarded, then the pooled path runs.
+//
+// Either way the chunk is never materialized and res reports exactly which
+// bytes moved how (Snapshot counters + TransferPath trace event).
+func (c *Client) scatterBody(resp *Response, skip, off, ln int64, dst io.WriterAt, fastName, objPath, algo string, sum bool, res *scatterResult) error {
+	if skip > 0 {
+		if _, err := io.CopyN(io.Discard, resp.Body, skip); err != nil {
+			resp.Close()
+			if err == io.EOF {
+				return &StatusError{Code: 416, Status: "416 Requested Range Not Satisfiable", Method: "GET", Path: objPath}
+			}
+			return err
+		}
+	}
+	var h hash.Hash
+	if sum {
+		h, _ = digest.New(algo)
+	}
+
+	// Kernel fast path: only for range-honouring responses (skip == 0 —
+	// after a prefix skip the bufio layer is mid-object anyway) with no
+	// digest to feed.
+	if fastName != "" && h == nil && skip == 0 && kernelEligible(resp.conn.NetConn()) {
+		if f, ferr := os.OpenFile(fastName, os.O_WRONLY, 0); ferr == nil {
+			cc := resp.conn.NetConn().(*countingConn)
+			_, err := f.Seek(off, io.SeekStart)
+			var n, direct int64
+			if err == nil {
+				n, direct, err = resp.WriteBodyTo(f, cc.Unwrap())
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			// The direct bytes bypassed the counting Read; the buffered
+			// prefix was already counted when bufio filled.
+			cc.addPendDown(direct)
+			c.recordBytePath(obs.Down, objPath, obs.PathKernel, direct)
+			c.recordBytePath(obs.Down, objPath, obs.PathPooled, n-direct)
+			cerr := resp.Close()
+			if err == nil {
+				err = cerr
+			}
+			res.n = n
+			return err
+		}
+		// Re-open failed (unlinked temp file, exotic fd): pooled path below.
+	}
+
+	buf := bufpool.Get(64 << 10)
+	defer bufpool.Put(buf)
+	pos := off
+	var err error
+	for pos < off+ln {
+		b := buf
+		if rem := off + ln - pos; rem < int64(len(b)) {
+			b = b[:rem]
+		}
+		n, rerr := resp.Body.Read(b)
+		if n > 0 {
+			if _, werr := dst.WriteAt(b[:n], pos); werr != nil {
+				resp.Close()
+				return werr
+			}
+			if h != nil {
+				h.Write(b[:n])
+			}
+			pos += int64(n)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			err = rerr
+			break
+		}
+	}
+	served := pos - off
+	c.recordBytePath(obs.Down, objPath, obs.PathPooled, served)
+	cerr := resp.Close()
+	if err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if served == 0 && ln > 0 && skip > 0 {
+		// The whole request sits past end of object; match the 416 a
+		// range-honouring server would have sent.
+		return &StatusError{Code: 416, Status: "416 Requested Range Not Satisfiable", Method: "GET", Path: objPath}
+	}
+	res.n = served
+	if h != nil {
+		sum := h.Sum(nil)
+		res.sum = binary.BigEndian.Uint32(sum)
+		res.summed = true
+		// A range-honouring server that answered Want-Digest committed to
+		// the payload digest of this very response — compare at zero cost.
+		if skip == 0 {
+			if want, ok := digest.FromDigestHeader(resp.Header.Get("Digest"), algo); ok {
+				if !bytes.Equal(sum, want.Sum) {
+					c.metrics.checksumMismatches.Add(1)
+					return &ChecksumError{
+						Path: objPath, Algo: algo, Off: off, Length: served,
+						Got: hex.EncodeToString(sum), Want: hex.EncodeToString(want.Sum),
+					}
+				}
+				res.verified = true
+			}
+		}
+	}
+	return nil
+}
+
+// chunkSum remembers one streamed chunk's client-side digest so a
+// whole-object mismatch can be localized afterwards.
+type chunkSum struct {
+	off, ln int64
+	sum     uint32
+}
+
+// chunkServerDigest asks one replica for the digest of [off, off+ln)
+// without re-reading the payload: a HEAD with Range and Want-Digest. ok is
+// false when the server would not commit to a range digest.
+func (c *Client) chunkServerDigest(ctx context.Context, host, path, algo string, off, ln int64) (uint32, bool) {
+	rangeVal := "bytes=" + strconv.FormatInt(off, 10) + "-" + strconv.FormatInt(off+ln-1, 10)
+	var sum uint32
+	ok := false
+	err := c.exec(ctx, host, path, specHead, func(h, p string) *wire.Request {
+		req := wire.NewRequest("HEAD", h, p)
+		req.Header.Set("Range", rangeVal)
+		req.Header.Set("Want-Digest", algo)
+		return req
+	}, func(_ Replica, resp *Response) error {
+		defer resp.Close()
+		if resp.StatusCode != 206 {
+			// 200 means the Digest (if any) covers the whole object, not
+			// our range; anything else is a refusal. Either way: no commit.
+			return nil
+		}
+		if want, got := digest.FromDigestHeader(resp.Header.Get("Digest"), algo); got {
+			sum = binary.BigEndian.Uint32(want.Sum)
+			ok = true
+		}
+		return nil
+	})
+	return sum, ok && err == nil
+}
+
+// localizeMismatch narrows a whole-object checksum mismatch to the first
+// offending chunk by comparing the client-side sums accumulated during the
+// transfer against per-range digests fetched with HEADs — the payload is
+// never re-read. Returns nil when no server on the ring will commit to
+// range digests; the caller falls back to the whole-object span.
+func (c *Client) localizeMismatch(ctx context.Context, replicas []Replica, path, algo string, sums []chunkSum) *ChecksumError {
+	for _, cs := range sums {
+		for _, rep := range c.health.order(replicas) {
+			want, ok := c.chunkServerDigest(ctx, rep.Host, rep.Path, algo, cs.off, cs.ln)
+			if !ok {
+				continue
+			}
+			if want != cs.sum {
+				return &ChecksumError{
+					Path: path, Algo: algo, Off: cs.off, Length: cs.ln,
+					Got:  fmt.Sprintf("%08x", cs.sum),
+					Want: fmt.Sprintf("%08x", want),
+				}
+			}
+			break
+		}
+	}
+	return nil
+}
+
 // DownloadMultiStreamTo downloads host/path into w without materializing
-// the object: every chunk is fetched into a pooled buffer (reusing the
-// allocation-free getRangeInto read path) and written straight to its
-// offset, so memory stays O(chunk × streams) regardless of object size.
+// the object: every chunk streams straight from its response body to
+// w.WriteAt through at most one pooled 64 KiB buffer, so memory stays
+// O(64 KiB × streams) regardless of object and chunk size. When w is a
+// real *os.File and verification is off, chunks skip userspace entirely —
+// the raw socket is handed to the file's ReadFrom and the kernel splice
+// path moves the payload (Snapshot's KernelBytesDown counts the wins).
+//
+// With Options.VerifyTransfers, every chunk is tee'd through an
+// incremental digest as it streams; the per-chunk sums combine
+// (adler32/crc32 combine math) into the whole-object value, verified
+// against the server's checksum at zero extra reads. A mismatch fails the
+// download with ErrChecksumMismatch naming the offending byte span.
+// Per-chunk Want-Digest — which makes the server hash each range before
+// its first body byte — stays off the hot path when the whole-object
+// checksum combines and there is a single replica; it is used inline when
+// chunks can fail over between replicas (a corrupt replica then costs one
+// retry, not the transfer) or when the server checksum cannot combine
+// (md5). On a whole-object mismatch the offending chunk is localized
+// after the fact with payload-free HEAD+Range+Want-Digest probes.
+//
 // Chunks are spread over the Metalink replicas when one is available;
 // without one they all stream from the primary, still in parallel over
 // MaxStreams pooled connections. Chunks complete out of order, so w's
@@ -102,13 +384,17 @@ func metalinkReplicas(reps []Replica, ml *metalink.Metalink) []Replica {
 func (c *Client) DownloadMultiStreamTo(ctx context.Context, host, path string, w io.WriterAt) (int64, error) {
 	replicas := []Replica{{Host: host, Path: path}}
 	size := int64(-1)
+	want := ""
 	if c.opts.Strategy != StrategyNone {
 		if ml, err := c.GetMetalink(ctx, host, path); err == nil {
 			replicas = metalinkReplicas(replicas, ml)
 			size = ml.Size
+			want = ml.Checksum
 		}
 	}
-	if size < 0 {
+	if size < 0 || (want == "" && c.opts.VerifyTransfers) {
+		// Stat fills in whichever is missing — a HEAD also reports the
+		// server's checksum, so verification never costs a data read.
 		var inf Info
 		var err error
 		for _, r := range c.health.order(replicas) {
@@ -116,29 +402,131 @@ func (c *Client) DownloadMultiStreamTo(ctx context.Context, host, path string, w
 				break
 			}
 		}
-		if err != nil {
+		if err != nil && size < 0 {
 			return 0, fmt.Errorf("davix: cannot determine size: %w", err)
 		}
-		if inf.Dir {
-			return 0, fmt.Errorf("davix: download %s: is a collection", path)
+		if err == nil {
+			if inf.Dir {
+				return 0, fmt.Errorf("davix: download %s: is a collection", path)
+			}
+			if size < 0 {
+				size = inf.Size
+			}
+			if want == "" {
+				want = inf.Checksum
+			}
 		}
-		size = inf.Size
 	}
 	if size == 0 {
 		return 0, nil
 	}
 
+	verify := c.opts.VerifyTransfers
+	algo := digest.Adler32
+	var wantSum uint32
+	haveWant := false
+	if verify && want != "" {
+		cs, err := digest.Parse(want)
+		if err != nil {
+			if errors.Is(err, digest.ErrUnsupported) {
+				return 0, fmt.Errorf("%w: %s: %v", ErrChecksumUnsupported, path, err)
+			}
+			return 0, fmt.Errorf("davix: %s: bad server checksum: %w", path, err)
+		}
+		if digest.Combinable(cs.Algo) {
+			algo = cs.Algo
+			wantSum = binary.BigEndian.Uint32(cs.Sum)
+			haveWant = true
+		}
+		// Order-dependent algorithms (md5) cannot combine across parallel
+		// chunks; those fall back to per-chunk Want-Digest verification
+		// under the default 32-bit algorithm.
+	}
+	// Per-chunk server digests cost the server a pre-body hash of every
+	// range; only pay that when the inline comparison buys something the
+	// rollup cannot give: corrupt-replica failover mid-transfer, or any
+	// verification at all when the server checksum does not combine.
+	perChunk := verify && (!haveWant || len(replicas) > 1)
+	var (
+		rollupMu       sync.Mutex
+		rollup         *digest.Rollup
+		sums           []chunkSum
+		verifiedChunks int
+		nChunks        int
+	)
+	if verify {
+		rollup, _ = digest.NewRollup(algo)
+	}
+
+	// The kernel fast path needs a real file target and no digest tee.
+	fastName := ""
+	if f, ok := w.(*os.File); ok && !verify && !c.opts.LegacyChunkBuffers {
+		fastName = f.Name()
+	}
+
 	err := c.forEachChunk(ctx, 0, size, c.opts.MaxStreams, func(cctx context.Context, idx int, off, ln int64) error {
-		buf := bufpool.Get(int(ln))
-		defer bufpool.Put(buf)
-		if err := c.readChunkReplicas(cctx, replicas, idx, off, buf); err != nil {
+		if c.opts.LegacyChunkBuffers {
+			buf := bufpool.Get(int(ln))
+			defer bufpool.Put(buf)
+			if err := c.readChunkReplicas(cctx, replicas, idx, off, buf); err != nil {
+				return err
+			}
+			if _, err := w.WriteAt(buf, off); err != nil {
+				return err
+			}
+			c.recordBytePath(obs.Down, path, obs.PathPooled, ln)
+			if rollup != nil {
+				sum := digest.Sum32(algo, buf)
+				rollupMu.Lock()
+				rollup.Add(off, ln, sum)
+				sums = append(sums, chunkSum{off, ln, sum})
+				nChunks++
+				rollupMu.Unlock()
+			}
+			return nil
+		}
+		res, err := c.scatterChunkReplicas(cctx, replicas, idx, off, ln, w, fastName, algo, verify, perChunk)
+		if err != nil {
 			return err
 		}
-		_, err := w.WriteAt(buf, off)
-		return err
+		if rollup != nil && res.summed {
+			rollupMu.Lock()
+			rollup.Add(off, ln, res.sum)
+			sums = append(sums, chunkSum{off, ln, res.sum})
+			nChunks++
+			if res.verified {
+				verifiedChunks++
+			}
+			rollupMu.Unlock()
+		}
+		return nil
 	})
 	if err != nil {
 		return 0, err
+	}
+	if rollup != nil && haveWant {
+		got, rerr := rollup.Sum(size)
+		if rerr != nil {
+			return 0, rerr
+		}
+		if got != wantSum {
+			c.metrics.checksumMismatches.Add(1)
+			// Narrow the blame to a chunk when a server will commit to
+			// per-range digests — HEAD probes only, no payload re-reads.
+			if ce := c.localizeMismatch(ctx, replicas, path, algo, sums); ce != nil {
+				return 0, ce
+			}
+			return 0, &ChecksumError{
+				Path: path, Algo: algo, Off: 0, Length: size,
+				Got:  fmt.Sprintf("%08x", got),
+				Want: fmt.Sprintf("%08x", wantSum),
+			}
+		}
+		c.metrics.transfersVerified.Add(1)
+	} else if rollup != nil && nChunks > 0 && verifiedChunks == nChunks {
+		// No combinable server checksum, but every chunk matched the
+		// server's per-range Digest — the transfer is end-to-end verified.
+		c.metrics.transfersVerified.Add(1)
 	}
 	return size, nil
 }

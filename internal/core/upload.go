@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	crand "crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash"
 	"hash/adler32"
 	"io"
 	"net"
@@ -15,6 +17,7 @@ import (
 	"time"
 
 	"godavix/internal/bufpool"
+	"godavix/internal/digest"
 	"godavix/internal/obs"
 	"godavix/internal/pool"
 	"godavix/internal/wire"
@@ -115,16 +118,52 @@ func (c *Client) finishPut(resp *Response, host, path string, size int64, checks
 // redirects arrive before any body byte leaves the client and the
 // (non-seekable) reader is never consumed by an aborted hop. size < 0
 // streams with chunked transfer encoding for sources of unknown length.
+//
+// A file-backed r of useful size on a plain-TCP connection is handed to
+// the kernel sendfile path — the payload never crosses userspace (see
+// Metrics.KernelBytesUp). With Options.VerifyTransfers the body is instead
+// tee'd through an incremental digest as it streams (forcing the pooled
+// path: verification must observe every byte); the digest primes the stat
+// cache and, when the server echoes a Digest header for what it stored, is
+// compared against it — a mismatch fails with ErrChecksumMismatch at zero
+// extra reads.
 func (c *Client) PutReader(ctx context.Context, host, path string, r io.Reader, size int64) error {
 	if size == 0 {
 		return c.Put(ctx, host, path, nil)
 	}
-	resp, err := c.putStream(ctx, host, path, r, size)
+	body := r
+	var h hash.Hash
+	if c.opts.VerifyTransfers {
+		h, _ = digest.New(digest.Adler32)
+		body = io.TeeReader(r, h)
+	}
+	resp, err := c.putStream(ctx, host, path, body, size)
 	if err != nil {
 		return err
 	}
-	_, err = c.finishPut(resp, host, path, size, "")
-	return err
+	checksum, echoed := "", ""
+	if h != nil && size > 0 {
+		checksum = fmt.Sprintf("adler32:%08x", h.(hash.Hash32).Sum32())
+		echoed = resp.Header.Get("Digest")
+	}
+	if _, err = c.finishPut(resp, host, path, size, checksum); err != nil {
+		return err
+	}
+	if h != nil && size > 0 {
+		if want, ok := digest.FromDigestHeader(echoed, digest.Adler32); ok {
+			got := h.(hash.Hash32).Sum32()
+			if got != binary.BigEndian.Uint32(want.Sum) {
+				c.metrics.checksumMismatches.Add(1)
+				return &ChecksumError{
+					Path: path, Algo: digest.Adler32, Off: 0, Length: size,
+					Got:  fmt.Sprintf("%08x", got),
+					Want: hex.EncodeToString(want.Sum),
+				}
+			}
+			c.metrics.transfersVerified.Add(1)
+		}
+	}
+	return nil
 }
 
 // putStream drives the Expect: 100-continue upload across redirect hops.
@@ -240,10 +279,15 @@ func (c *Client) putStreamOnce(ctx context.Context, originHost, host, path strin
 
 		// 100 Continue (or a silent server): stream the body, then read
 		// the real response, skipping any late interim.
+		bp := obs.PathPooled
+		if req.DirectBody(conn.NetConn()) && kernelEligible(conn.NetConn()) {
+			bp = obs.PathKernel
+		}
 		if err := req.WriteBody(conn.NetConn()); err != nil {
 			c.pool.Discard(conn)
 			return nil, "", fmt.Errorf("davix: streaming PUT body: %w", err)
 		}
+		c.recordBytePath(obs.Up, path, bp, size)
 		final, err := wire.ReadResponse(conn.Reader(), "PUT")
 		for err == nil && final.StatusCode == 100 {
 			final, err = wire.ReadResponse(conn.Reader(), "PUT")
@@ -343,6 +387,35 @@ func (c *Client) multiStreamPut(ctx context.Context, host, path string, size int
 	probeLen := min(uploadProbeLen, c.opts.ChunkSize, size)
 	var created atomic.Bool
 
+	// Inline integrity: with VerifyTransfers every chunk buffer — already
+	// in hand for the PUT — is digested before it ships, and the per-chunk
+	// sums combine into the whole-object adler32. That value replaces
+	// wantChecksum's lazy re-read of the entire source (sourceAdler32) with
+	// zero extra reads, and primes the stat cache on commit.
+	var (
+		rollupMu sync.Mutex
+		rollup   *digest.Rollup
+	)
+	if c.opts.VerifyTransfers {
+		rollup, _ = digest.NewRollup(digest.Adler32)
+	}
+	addSum := func(off int64, b []byte) {
+		if rollup == nil {
+			return
+		}
+		sum := digest.Sum32(digest.Adler32, b)
+		rollupMu.Lock()
+		rollup.Add(off, int64(len(b)), sum)
+		rollupMu.Unlock()
+	}
+	rollupChecksum := func() string {
+		sum, err := rollup.Sum(size)
+		if err != nil {
+			return ""
+		}
+		return fmt.Sprintf("adler32:%08x", sum)
+	}
+
 	// Only the destination's PUT verdict feeds the fallback
 	// classification — a chunk-source read failure surfaces as-is (the
 	// fallback would just re-fail on it).
@@ -351,6 +424,7 @@ func (c *Client) multiStreamPut(ctx context.Context, host, path string, size int
 		bufpool.Put(buf)
 		return err
 	}
+	addSum(0, buf)
 	c.trace.EmitChunkStart(obs.Up, path, 0, 0, probeLen)
 	probe, err := c.putRanged(ctx, host, path, buf, 0, size, uploadID)
 	c.trace.EmitChunkDone(obs.Up, path, 0, 0, probeLen, err)
@@ -361,6 +435,7 @@ func (c *Client) multiStreamPut(ctx context.Context, host, path string, size int
 		}
 		return err
 	}
+	c.recordBytePath(obs.Up, path, obs.PathPooled, probeLen)
 	if probe.created {
 		created.Store(true)
 	}
@@ -371,22 +446,34 @@ func (c *Client) multiStreamPut(ctx context.Context, host, path string, size int
 		if err := readChunk(cctx, idx, off, buf); err != nil {
 			return err
 		}
+		addSum(off, buf)
 		// The probe was chunk 0; fan-out chunks number from 1.
 		c.trace.EmitChunkStart(obs.Up, path, idx+1, off, ln)
 		res, err := c.putRanged(cctx, probe.host, probe.path, buf, off, size, uploadID)
 		c.trace.EmitChunkDone(obs.Up, path, idx+1, off, ln, err)
-		if err == nil && res.created {
+		if err != nil {
+			return err
+		}
+		c.recordBytePath(obs.Up, path, obs.PathPooled, ln)
+		if res.created {
 			created.Store(true)
 		}
-		return err
+		return nil
 	})
 	if err != nil {
 		return err
 	}
+	if rollup != nil {
+		wantChecksum = rollupChecksum
+	}
 	if !created.Load() {
 		return c.verifyCommitted(ctx, host, path, size, wantChecksum)
 	}
-	c.primeAfterWrite(host, path, size, "", "")
+	checksum := ""
+	if rollup != nil {
+		checksum = rollupChecksum()
+	}
+	c.primeAfterWrite(host, path, size, "", checksum)
 	return nil
 }
 
@@ -419,8 +506,17 @@ func (c *Client) verifyCommitted(ctx context.Context, host, path string, size in
 		return fmt.Errorf("davix: upload not committed: server reports %d bytes, want %d", inf.Size, size)
 	}
 	if inf.Checksum != "" && wantChecksum != nil {
-		if want := wantChecksum(); want != "" && sameAlgo(want, inf.Checksum) && !strings.EqualFold(want, inf.Checksum) {
-			return fmt.Errorf("davix: upload not committed: server reports checksum %s, want %s", inf.Checksum, want)
+		if want := wantChecksum(); want != "" && sameAlgo(want, inf.Checksum) {
+			if !strings.EqualFold(want, inf.Checksum) {
+				c.metrics.checksumMismatches.Add(1)
+				algo, wantHex, _ := strings.Cut(want, ":")
+				_, gotHex, _ := strings.Cut(inf.Checksum, ":")
+				return fmt.Errorf("davix: upload not committed: %w", &ChecksumError{
+					Path: path, Algo: strings.ToLower(algo), Off: 0, Length: size,
+					Got: strings.ToLower(gotHex), Want: strings.ToLower(wantHex),
+				})
+			}
+			c.metrics.transfersVerified.Add(1)
 		}
 	}
 	c.invalidateCache(host, path)

@@ -12,6 +12,7 @@ package httpserv
 import (
 	"bytes"
 	"context"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -25,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"godavix/internal/digest"
 	"godavix/internal/metalink"
 	"godavix/internal/obs"
 	"godavix/internal/s3"
@@ -92,6 +94,14 @@ type Fault struct {
 	// TruncateBody, when positive, serves only that many body bytes and
 	// then aborts the connection (models a transfer cut mid-stream).
 	TruncateBody int64
+	// CorruptXOR, when non-zero, serves GET responses from a copy of the
+	// object whose byte at offset CorruptAt has been XORed with it, while
+	// X-Checksum and Digest headers keep advertising the pristine content
+	// — models silent storage or wire corruption that only end-to-end
+	// integrity verification can catch.
+	CorruptXOR byte
+	// CorruptAt is the absolute object offset of the flipped byte.
+	CorruptAt int64
 	// Remaining, when positive, auto-expires the fault after that many
 	// requests; negative means unlimited.
 	Remaining int
@@ -341,6 +351,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			s.serveTruncated(w, p, f.TruncateBody)
 			return
 		}
+		if f.CorruptXOR != 0 && r.Method == http.MethodGet {
+			s.serveCorrupt(w, r, p, f)
+			return
+		}
 		if f.Status != 0 {
 			http.Error(w, fmt.Sprintf("injected fault %d", f.Status), f.Status)
 			return
@@ -420,10 +434,104 @@ func (s *Server) serveGet(w http.ResponseWriter, r *http.Request, p string) {
 	w.Header().Set("Accept-Ranges", "bytes")
 	w.Header().Set("X-Checksum", inf.Checksum)
 	w.Header().Set("Content-Type", "application/octet-stream")
+	setDigestHeader(w, r, data)
 	// ServeContent implements If-Range, single-range (206 +
 	// Content-Range) and multi-range (multipart/byteranges) semantics —
 	// the standards-compliant server behaviour the davix client targets.
 	http.ServeContent(w, r, path.Base(p), inf.ModTime, bytes.NewReader(data))
+}
+
+// serveCorrupt is the CorruptXOR fault: the body comes from a flipped copy
+// of the object while every integrity header (X-Checksum, Digest) keeps
+// describing the pristine content, so a verifying client must detect the
+// damage and a non-verifying one must not.
+func (s *Server) serveCorrupt(w http.ResponseWriter, r *http.Request, p string, f *Fault) {
+	data, inf, err := s.store.Get(p)
+	if err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	bad := make([]byte, len(data))
+	copy(bad, data)
+	if f.CorruptAt >= 0 && f.CorruptAt < int64(len(bad)) {
+		bad[f.CorruptAt] ^= f.CorruptXOR
+	}
+	w.Header().Set("Accept-Ranges", "bytes")
+	w.Header().Set("X-Checksum", inf.Checksum)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	setDigestHeader(w, r, data)
+	http.ServeContent(w, r, path.Base(p), inf.ModTime, bytes.NewReader(bad))
+}
+
+// setDigestHeader answers a Want-Digest request (RFC 3230 style, hex
+// values per the WLCG convention) with the digest of the payload this
+// response will carry: the single requested range when the request names
+// one, the whole object otherwise. Multi-range and conditional requests
+// are left without a Digest — the framing is not a single contiguous
+// payload there. pristine is always the true stored content, so a
+// corruption fault advertises the digest the bytes should have had.
+func setDigestHeader(w http.ResponseWriter, r *http.Request, pristine []byte) {
+	algo := strings.ToLower(strings.TrimSpace(r.Header.Get("Want-Digest")))
+	if i := strings.IndexAny(algo, ",;"); i >= 0 {
+		algo = strings.TrimSpace(algo[:i])
+	}
+	if algo == "" || !digest.Supported(algo) {
+		return
+	}
+	body := pristine
+	if rng := r.Header.Get("Range"); rng != "" {
+		start, end, ok := parseSingleRange(rng, int64(len(pristine)))
+		if !ok {
+			return
+		}
+		body = pristine[start:end]
+	}
+	h, err := digest.New(algo)
+	if err != nil {
+		return
+	}
+	h.Write(body)
+	w.Header().Set("Digest", algo+"="+hex.EncodeToString(h.Sum(nil)))
+}
+
+// parseSingleRange parses a one-range "bytes=a-b" / "bytes=a-" / "bytes=-n"
+// header the way http.ServeContent will resolve it against size, returning
+// the half-open [start, end) span. Multi-range or malformed headers report
+// ok=false.
+func parseSingleRange(rng string, size int64) (start, end int64, ok bool) {
+	spec, found := strings.CutPrefix(rng, "bytes=")
+	if !found || strings.Contains(spec, ",") {
+		return 0, 0, false
+	}
+	lo, hi, found := strings.Cut(strings.TrimSpace(spec), "-")
+	if !found {
+		return 0, 0, false
+	}
+	if lo == "" {
+		// Suffix range: last hi bytes.
+		n, err := strconv.ParseInt(hi, 10, 64)
+		if err != nil || n <= 0 {
+			return 0, 0, false
+		}
+		if n > size {
+			n = size
+		}
+		return size - n, size, true
+	}
+	a, err := strconv.ParseInt(lo, 10, 64)
+	if err != nil || a < 0 || a >= size {
+		return 0, 0, false
+	}
+	b := size - 1
+	if hi != "" {
+		if b, err = strconv.ParseInt(hi, 10, 64); err != nil || b < a {
+			return 0, 0, false
+		}
+		if b > size-1 {
+			b = size - 1
+		}
+	}
+	return a, b + 1, true
 }
 
 func (s *Server) servePut(w http.ResponseWriter, r *http.Request, p string) {
@@ -464,7 +572,18 @@ func (s *Server) servePut(w http.ResponseWriter, r *http.Request, p string) {
 		writeStoreErr(w, err)
 		return
 	}
+	// Echo what was actually stored: a verifying client compares this
+	// against the digest it accumulated while streaming the body, closing
+	// the upload's end-to-end integrity loop at zero extra reads.
+	setStoredDigest(w, data)
 	w.WriteHeader(http.StatusCreated)
+}
+
+// setStoredDigest attaches the Digest of committed upload bytes to a PUT
+// response (adler32, the WLCG default this testbed standardizes on).
+func setStoredDigest(w http.ResponseWriter, data []byte) {
+	w.Header().Set("Digest",
+		digest.Adler32+"="+fmt.Sprintf("%08x", digest.Sum32(digest.Adler32, data)))
 }
 
 // errBodyTooLarge marks a request body over the maxPartialTotal cap.
@@ -644,6 +763,7 @@ func (s *Server) serveRangedPut(w http.ResponseWriter, r *http.Request, p, cr st
 		writeStoreErr(w, err)
 		return
 	}
+	setStoredDigest(w, data)
 	w.WriteHeader(http.StatusCreated)
 }
 

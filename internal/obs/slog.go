@@ -64,5 +64,9 @@ func SlogTrace(l *slog.Logger) *ClientTrace {
 			l.Debug("davix chunk done", "dir", string(dir), "path", path,
 				"idx", idx, "off", off, "len", length)
 		},
+		TransferPath: func(dir Direction, path string, bp BytePath, bytes int64) {
+			l.Debug("davix byte path", "dir", string(dir), "path", path,
+				"via", string(bp), "bytes", bytes)
+		},
 	}
 }

@@ -19,6 +19,7 @@ package pool
 import (
 	"bufio"
 	"context"
+	"crypto/tls"
 	"errors"
 	"net"
 	"sync"
@@ -57,6 +58,16 @@ type Options struct {
 	// Some servers cap requests per connection; this models the client
 	// honouring that politely.
 	MaxUses int
+
+	// TLS, when non-nil, upgrades every dialed connection to a TLS client
+	// session with this configuration (the handshake runs inside Get, under
+	// the caller's context). The config is cloned once at New; when it does
+	// not bring a ClientSessionCache the pool installs one LRU cache shared
+	// across all host shards, so a reconnect to any host resumes its last
+	// session instead of paying a full handshake — Stats.TLSResumes counts
+	// the saves. ServerName defaults to the dialed host (port stripped)
+	// when the config leaves it empty.
+	TLS *tls.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -77,6 +88,11 @@ type Stats struct {
 	Reuses int64
 	// Discards counts connections dropped (TTL, MaxUses, error, overflow).
 	Discards int64
+	// TLSHandshakes counts completed TLS handshakes (only with Options.TLS).
+	TLSHandshakes int64
+	// TLSResumes counts handshakes that resumed a cached session instead of
+	// running the full exchange.
+	TLSResumes int64
 }
 
 // ErrPoolClosed is returned by Get after Close.
@@ -103,9 +119,15 @@ type Pool struct {
 	shards [numShards]shard
 	closed atomic.Bool
 
-	dials    atomic.Int64
-	reuses   atomic.Int64
-	discards atomic.Int64
+	dials         atomic.Int64
+	reuses        atomic.Int64
+	discards      atomic.Int64
+	tlsHandshakes atomic.Int64
+	tlsResumes    atomic.Int64
+
+	// tlsConf is the cloned Options.TLS with the shared session cache
+	// installed (nil when TLS is off).
+	tlsConf *tls.Config
 
 	reaperStop  chan struct{}
 	reaperStart sync.Once
@@ -125,7 +147,43 @@ func New(d Dialer, opts Options) *Pool {
 		s.active = make(map[string]int)
 		s.waiters = make(map[string][]chan struct{})
 	}
+	if p.opts.TLS != nil {
+		p.tlsConf = p.opts.TLS.Clone()
+		if p.tlsConf.ClientSessionCache == nil {
+			// One cache across every host shard: whichever shard dials a
+			// host next resumes the session any shard established.
+			p.tlsConf.ClientSessionCache = tls.NewLRUClientSessionCache(256)
+		}
+	}
 	return p
+}
+
+// upgradeTLS runs the TLS client handshake over raw (a no-op when the pool
+// has no TLS config). The session cache shared across shards makes repeat
+// handshakes to any previously-seen host resumptions.
+func (p *Pool) upgradeTLS(ctx context.Context, host string, raw net.Conn) (net.Conn, error) {
+	if p.tlsConf == nil {
+		return raw, nil
+	}
+	cfg := p.tlsConf
+	if cfg.ServerName == "" {
+		name := host
+		if h, _, err := net.SplitHostPort(host); err == nil {
+			name = h
+		}
+		cfg = cfg.Clone()
+		cfg.ServerName = name
+	}
+	tc := tls.Client(raw, cfg)
+	if err := tc.HandshakeContext(ctx); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	p.tlsHandshakes.Add(1)
+	if tc.ConnectionState().DidResume {
+		p.tlsResumes.Add(1)
+	}
+	return tc, nil
 }
 
 // shardFor hashes host (FNV-1a) onto its shard. The same host always maps
@@ -222,6 +280,9 @@ func (p *Pool) Get(ctx context.Context, host string) (*Conn, error) {
 		s.mu.Unlock()
 
 		nc, err := p.dialer.DialContext(ctx, host)
+		if err == nil {
+			nc, err = p.upgradeTLS(ctx, host, nc)
+		}
 		if err != nil {
 			s.mu.Lock()
 			s.active[host]--
@@ -373,9 +434,11 @@ func (p *Pool) reapIdle(now time.Time) {
 // Stats returns a snapshot of the pool counters.
 func (p *Pool) Stats() Stats {
 	return Stats{
-		Dials:    p.dials.Load(),
-		Reuses:   p.reuses.Load(),
-		Discards: p.discards.Load(),
+		Dials:         p.dials.Load(),
+		Reuses:        p.reuses.Load(),
+		Discards:      p.discards.Load(),
+		TLSHandshakes: p.tlsHandshakes.Load(),
+		TLSResumes:    p.tlsResumes.Load(),
 	}
 }
 

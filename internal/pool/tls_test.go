@@ -1,0 +1,101 @@
+package pool
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"math/big"
+	"net"
+	"testing"
+	"time"
+)
+
+// selfSigned builds an in-memory certificate for 127.0.0.1, good enough for
+// a loopback handshake test.
+func selfSigned(t *testing.T) tls.Certificate {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber: big.NewInt(1),
+		Subject:      pkix.Name{CommonName: "pool-test"},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(time.Hour),
+		IPAddresses:  []net.IP{net.IPv4(127, 0, 0, 1)},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key}
+}
+
+// TestTLSSessionResumption proves that a reconnect through the pool resumes
+// the TLS session the first dial established: the shared ClientSessionCache
+// turns the second full handshake into a resumption.
+func TestTLSSessionResumption(t *testing.T) {
+	cert := selfSigned(t)
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", &tls.Config{Certificates: []tls.Certificate{cert}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Server: greet each client with one byte. The write completes the
+	// handshake and flushes the TLS 1.3 session tickets; the client's read
+	// processes them into its session cache.
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				c.Write([]byte{'!'})
+				time.Sleep(50 * time.Millisecond)
+				c.Close()
+			}(c)
+		}
+	}()
+
+	d := DialerFunc(func(ctx context.Context, addr string) (net.Conn, error) {
+		var nd net.Dialer
+		return nd.DialContext(ctx, "tcp", addr)
+	})
+	p := New(d, Options{TLS: &tls.Config{InsecureSkipVerify: true}})
+	defer p.Close()
+
+	ctx := context.Background()
+	addr := ln.Addr().String()
+
+	greet := func() {
+		c, err := p.Get(ctx, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1)
+		if _, err := c.Reader().Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		p.Discard(c) // close it so the next Get handshakes again
+	}
+
+	greet()
+	st := p.Stats()
+	if st.TLSHandshakes != 1 || st.TLSResumes != 0 {
+		t.Fatalf("first dial: handshakes=%d resumes=%d", st.TLSHandshakes, st.TLSResumes)
+	}
+	greet()
+	st = p.Stats()
+	if st.TLSHandshakes != 2 {
+		t.Fatalf("second dial: handshakes=%d", st.TLSHandshakes)
+	}
+	if st.TLSResumes != 1 {
+		t.Fatalf("second handshake did not resume the cached session: resumes=%d", st.TLSResumes)
+	}
+}
