@@ -11,7 +11,7 @@
 //
 // Experiments: fig1, fig2, fig3, fig4, fig4async, gap, failover,
 // multistream, window, poolsize, prefetch, federation, cache, vecpar,
-// meta, xfer, resil, obs, zerocopy, all.
+// meta, xfer, resil, obs, zerocopy, server, all.
 //
 // With -json, every table produced by the run is also written to the given
 // file as a JSON array — CI uses this to track the performance trajectory
@@ -40,6 +40,7 @@ func main() {
 	meanPayload := flag.Int("mean-payload", 64, "mean branch payload bytes")
 	window := flag.Uint64("window", 3000, "TreeCache window in events")
 	fractionsArg := flag.String("fractions", "1.0", "comma-separated event fractions for fig4")
+	clients := flag.Int("clients", 128, "admission limit / client count for the server load scenario")
 	flag.Parse()
 
 	var fractions []float64
@@ -61,6 +62,7 @@ func main() {
 		},
 		Window:    *window,
 		Fractions: fractions,
+		Clients:   *clients,
 	}
 
 	type exp struct {
@@ -87,6 +89,7 @@ func main() {
 		{"resil", bench.Resil},
 		{"obs", bench.Obs},
 		{"zerocopy", bench.Zerocopy},
+		{"server", bench.ServerLoad},
 	}
 
 	ran := 0

@@ -23,6 +23,11 @@ type Options struct {
 	// Fractions are the event fractions for the Figure 4 sweep
 	// (default 1.0 only, the paper's headline number).
 	Fractions []float64
+	// Clients sizes the server-load scenario: the gateway's admission
+	// limit equals Clients, the at-limit regime runs that many simulated
+	// clients and the overload regime twice as many plus the misbehaving
+	// cohorts (default 128; CI uses fewer).
+	Clients int
 }
 
 func (o Options) withDefaults() Options {
@@ -37,6 +42,9 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.Fractions) == 0 {
 		o.Fractions = []float64{1.0}
+	}
+	if o.Clients == 0 {
+		o.Clients = 128
 	}
 	return o
 }

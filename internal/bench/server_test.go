@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServerLoadSmoke runs the gateway chaos scenario at a small client
+// count: every correctness invariant inside ServerLoad (zero
+// accepted-then-failed, Retry-After on every shed, abusers cut, droppers
+// never committed) is asserted by the scenario itself, so a nil error is
+// the test.
+func TestServerLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load scenario takes a few seconds")
+	}
+	table, err := ServerLoad(Options{Clients: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 { // LAN/WAN x at-limit/overload
+		t.Fatalf("rows = %d, want 4", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if len(row) != len(table.Columns) {
+			t.Fatalf("row %v: %d cells, want %d", row, len(row), len(table.Columns))
+		}
+	}
+	var sawOverload bool
+	for _, row := range table.Rows {
+		if strings.Contains(row[1], "overload") {
+			sawOverload = true
+			if row[6] == "0" {
+				t.Fatalf("overload row shed nothing: %v", row)
+			}
+		}
+	}
+	if !sawOverload {
+		t.Fatal("no overload regime row in table")
+	}
+}

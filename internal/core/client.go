@@ -580,9 +580,13 @@ func (c *Client) prepare(req *wire.Request, authHost string) {
 
 // statusErr builds a StatusError for req/resp after discarding the body.
 func statusErr(resp *Response, method, path string) error {
+	// Capture the header before Discard tears the response down: a 503
+	// from a shedding gateway carries the backoff it wants honoured.
+	ra := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 	resp.Discard()
 	resp.Close()
-	return &StatusError{Code: resp.StatusCode, Status: resp.Status, Method: method, Path: path}
+	return &StatusError{Code: resp.StatusCode, Status: resp.Status,
+		Method: method, Path: path, RetryAfter: ra}
 }
 
 // ErrNoMetalink reports a server that answered a Metalink negotiation with

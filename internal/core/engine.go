@@ -104,6 +104,26 @@ func (p RetryPolicy) backoff(n int) time.Duration {
 	return d/2 + time.Duration(rand.Int63n(int64(d)/2+1))
 }
 
+// retryDelay is the sleep before retry number n: the policy's jittered
+// exponential backoff, stretched to any Retry-After the server advertised
+// with the failure (a shedding gateway's 503 names when to come back).
+// The server's ask is honoured up to CapBackoff so a hostile or confused
+// header cannot park the client for minutes.
+func retryDelay(p RetryPolicy, n int, err error) time.Duration {
+	d := p.backoff(n)
+	var se *StatusError
+	if errors.As(err, &se) && se.RetryAfter > 0 {
+		ask := se.RetryAfter
+		if ask > p.CapBackoff {
+			ask = p.CapBackoff
+		}
+		if ask > d {
+			d = ask
+		}
+	}
+	return d
+}
+
 // exec runs one operation through the full layer stack. build produces the
 // request for a given target (invoked once per hop and per attempt, so
 // bodies are always fresh); handle consumes — and must close — the
@@ -153,7 +173,7 @@ func (c *Client) execAttempts(ctx context.Context, rep Replica, spec reqSpec,
 		}
 		c.metrics.retries.Add(1)
 		c.trace.EmitRetry(spec.op, rep.Host, attempt, err)
-		if err := sleepCtx(ctx, c.opts.RetryPolicy.backoff(attempt)); err != nil {
+		if err := sleepCtx(ctx, retryDelay(c.opts.RetryPolicy, attempt, err)); err != nil {
 			return lastErr
 		}
 	}

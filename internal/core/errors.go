@@ -3,6 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
 )
 
 // StatusError reports a non-success HTTP status from the server.
@@ -13,6 +17,11 @@ type StatusError struct {
 	Status string
 	// Method and Path identify the failed request.
 	Method, Path string
+	// RetryAfter is the server-advertised backoff from a Retry-After
+	// header (503 shedding, 429), zero when none was sent. The retry
+	// engine stretches its computed backoff to honour it, capped at
+	// RetryPolicy.CapBackoff.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -26,6 +35,28 @@ var ErrNotFound = errors.New("davix: not found")
 // Is maps 404 onto ErrNotFound.
 func (e *StatusError) Is(target error) bool {
 	return target == ErrNotFound && e.Code == 404
+}
+
+// parseRetryAfter parses a Retry-After header value: either delta-seconds
+// ("120") or an HTTP-date (RFC 9110 §10.2.3), measured against now.
+// Malformed values and dates in the past report zero.
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // retryableStatus reports whether a status code indicates the replica is

@@ -74,6 +74,15 @@ type Options struct {
 	// origin that does not implement partial PUTs. Used to exercise the
 	// client's single-stream upload fallback.
 	DisableRangedPut bool
+
+	// Limits arms the gateway's overload defences: admission control,
+	// per-client fairness, deadlines, stall protection. The zero value
+	// keeps the historical unbounded test-fixture behaviour.
+	Limits Limits
+
+	// Trace, when set, receives gateway events (admissions, sheds,
+	// slow-client kills, reaped assemblies). Nil is free.
+	Trace *obs.ServerTrace
 }
 
 // Copier pushes an object to another storage server.
@@ -102,6 +111,17 @@ type Fault struct {
 	CorruptXOR byte
 	// CorruptAt is the absolute object offset of the flipped byte.
 	CorruptAt int64
+	// DropAfter, when positive, kills the TCP connection after N body
+	// bytes have moved: a GET serves N payload bytes then aborts, a
+	// bodied request drains N upload bytes then aborts — a mid-transfer
+	// connection drop, not a status code.
+	DropAfter int64
+	// StallBody, when positive, pauses mid-body for that long: a GET
+	// writes half the payload, flushes, and goes silent before finishing;
+	// a bodied request stops draining the upload at the halfway point.
+	// Models a stalled server so client-side stall detection has a real
+	// adversary.
+	StallBody time.Duration
 	// Remaining, when positive, auto-expires the fault after that many
 	// requests; negative means unlimited.
 	Remaining int
@@ -125,9 +145,20 @@ type Server struct {
 	// every byte of the declared total has arrived.
 	partialMu sync.Mutex
 	partials  map[partialKey]*partialUpload
+	// janitorOn (under partialMu) records whether the TTL janitor
+	// goroutine is running; it exits when the table empties or on Close.
+	janitorOn bool
 
-	requests atomic.Int64
-	byMethod sync.Map // method -> *atomic.Int64
+	// adm is the admission controller; nil when no limit is armed.
+	adm *admission
+
+	requests      atomic.Int64
+	byMethod      sync.Map // method -> *atomic.Int64
+	stallKills    atomic.Int64
+	partialReaped atomic.Int64
+
+	closeCh   chan struct{}
+	closeOnce sync.Once
 }
 
 // Ranged-upload assembly bounds: total size and concurrent-assembly caps
@@ -201,12 +232,33 @@ func (p *partialUpload) add(start, end int64) int64 {
 
 // New creates a Server over store.
 func New(store storage.Store, opts Options) *Server {
-	return &Server{
+	s := &Server{
 		store:    store,
 		opts:     opts,
 		faults:   make(map[string]*Fault),
 		partials: make(map[partialKey]*partialUpload),
+		closeCh:  make(chan struct{}),
 	}
+	if opts.Limits.admissionEnabled() {
+		s.adm = newAdmission(opts.Limits, opts.Trace)
+	}
+	return s
+}
+
+// Close stops the Server's background maintenance (the partial-upload
+// janitor). The Server keeps serving requests; abandoned assemblies are
+// then only swept opportunistically on new-assembly creation.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.closeCh) })
+}
+
+// partialTTLValue is the configured assembly TTL (Limits.PartialTTL, else
+// the historical one-minute default).
+func (s *Server) partialTTLValue() time.Duration {
+	if s.opts.Limits.PartialTTL > 0 {
+		return s.opts.Limits.PartialTTL
+	}
+	return partialTTL
 }
 
 // SetFault installs (or replaces) a fault for path p ("*" = every path).
@@ -294,7 +346,46 @@ func (s *Server) Snapshot() obs.Snapshot {
 	out.Counters = append(out.Counters, obs.Counter{
 		Name: "partial_uploads", Help: "Ranged-upload assemblies currently in progress.",
 		Value: partials, Gauge: true,
+	}, obs.Counter{
+		Name: "partial_reaped_total", Help: "Abandoned ranged-upload assemblies reaped by TTL.",
+		Value: s.partialReaped.Load(),
+	}, obs.Counter{
+		Name: "stall_kills_total", Help: "Connections cut for stalling mid-body (slow loris).",
+		Value: s.stallKills.Load(),
 	})
+	if a := s.adm; a != nil {
+		a.mu.Lock()
+		tracked := int64(len(a.clients))
+		active := int64(0)
+		for _, cs := range a.clients {
+			if cs.inflight > 0 {
+				active++
+			}
+		}
+		a.mu.Unlock()
+		out.Counters = append(out.Counters,
+			obs.Counter{Name: "inflight", Help: "Requests currently executing.",
+				Value: a.inflight.Load(), Gauge: true},
+			obs.Counter{Name: "admission_queue", Help: "Requests waiting for an in-flight slot.",
+				Value: a.queued.Load(), Gauge: true},
+			obs.Counter{Name: "admitted_total", Help: "Requests admitted.",
+				Value: a.admittedTotal.Load()},
+			obs.Counter{Name: "admitted_queued_total", Help: "Admitted requests that waited in the queue.",
+				Value: a.admittedQueued.Load()},
+			obs.Counter{Name: "shed_total", Help: "Requests shed with 503.",
+				Value: a.shedTotal()},
+			obs.Counter{Name: "shed_capacity_total", Help: "Sheds for global capacity (queue full or queue deadline).",
+				Value: a.shedByReason[0].Load()},
+			obs.Counter{Name: "shed_client_concurrency_total", Help: "Sheds for the per-client concurrency cap.",
+				Value: a.shedByReason[1].Load()},
+			obs.Counter{Name: "shed_client_rate_total", Help: "Sheds for the per-client rate limit.",
+				Value: a.shedByReason[2].Load()},
+			obs.Counter{Name: "clients_tracked", Help: "Clients in the fairness table.",
+				Value: tracked, Gauge: true},
+			obs.Counter{Name: "clients_active", Help: "Clients with at least one request in flight.",
+				Value: active, Gauge: true},
+		)
+	}
 	return out
 }
 
@@ -308,7 +399,11 @@ func (s *Server) Serve(l net.Listener) error {
 // debug endpoints). Keep-alive policy follows Options.DisableKeepAlive
 // regardless of the wrapping.
 func (s *Server) ServeHandler(l net.Listener, h http.Handler) error {
-	srv := &http.Server{Handler: h}
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: s.opts.Limits.ReadHeaderTimeout,
+		IdleTimeout:       s.opts.Limits.IdleTimeout,
+	}
 	srv.SetKeepAlivesEnabled(!s.opts.DisableKeepAlive)
 	err := srv.Serve(l)
 	if errors.Is(err, net.ErrClosed) || errors.Is(err, http.ErrServerClosed) {
@@ -317,12 +412,68 @@ func (s *Server) ServeHandler(l net.Listener, h http.Handler) error {
 	return err
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: the overload-defence layer (admission,
+// deadlines, stall protection) wrapped around the WebDAV dispatch.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	v, _ := s.byMethod.LoadOrStore(r.Method, &atomic.Int64{})
 	v.(*atomic.Int64).Add(1)
 
+	// Admission first: a shed request costs one header parse and a 503 —
+	// it never allocates buffers, touches the store, or holds a slot.
+	if s.adm != nil {
+		release, reason, ra, ok := s.adm.admit(r.Context(), clientKey(r))
+		if !ok {
+			w.Header().Set("Retry-After", retryAfterHeader(ra))
+			http.Error(w, "overloaded: "+reason, http.StatusServiceUnavailable)
+			return
+		}
+		defer release()
+	}
+
+	lim := s.opts.Limits
+	if lim.RequestBudget > 0 {
+		// Whole-request budget: cancels downstream work (TPC pushes honour
+		// the context) and arms the connection write deadline so a response
+		// cannot dribble to an undraining client forever. The deadline is
+		// disarmed on the way out so keep-alive reuse is unaffected.
+		ctx, cancel := context.WithTimeout(r.Context(), lim.RequestBudget)
+		defer cancel()
+		r = r.WithContext(ctx)
+		rc := http.NewResponseController(w)
+		_ = rc.SetWriteDeadline(time.Now().Add(lim.RequestBudget))
+		defer rc.SetWriteDeadline(time.Time{})
+	}
+	if lim.BodyStallTimeout > 0 && r.Body != nil && bodiedMethod(r.Method) {
+		var budget time.Time
+		if lim.RequestBudget > 0 {
+			budget = time.Now().Add(lim.RequestBudget)
+		}
+		r.Body = &stallReader{
+			body:   r.Body,
+			ctrl:   http.NewResponseController(w),
+			stall:  lim.BodyStallTimeout,
+			budget: budget,
+			srv:    s,
+			client: clientKey(r),
+		}
+	}
+
+	s.handle(w, r)
+}
+
+// bodiedMethod reports whether requests of this method carry a body the
+// stall guard should watch.
+func bodiedMethod(m string) bool {
+	switch m {
+	case http.MethodPut, http.MethodPost, http.MethodPatch, "PROPFIND":
+		return true
+	}
+	return false
+}
+
+// handle is the WebDAV dispatch under the defence layer.
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	p := storage.Clean(r.URL.Path)
 
 	if s.opts.Authorize != nil && !s.opts.Authorize(r.Header.Get("Authorization")) {
@@ -342,7 +493,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	if f := s.takeFault(p); f != nil {
 		if f.Delay > 0 {
-			time.Sleep(f.Delay)
+			// The head-of-line delay honours cancellation: an abandoned
+			// client (or an expired request budget) releases the slot
+			// instead of pinning it for the full injected delay.
+			select {
+			case <-time.After(f.Delay):
+			case <-r.Context().Done():
+				panic(http.ErrAbortHandler)
+			}
 		}
 		if f.Abort {
 			panic(http.ErrAbortHandler)
@@ -350,6 +508,27 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if f.TruncateBody > 0 && r.Method == http.MethodGet {
 			s.serveTruncated(w, p, f.TruncateBody)
 			return
+		}
+		if f.DropAfter > 0 {
+			if r.Method == http.MethodGet {
+				// Downstream drop: serve DropAfter payload bytes, then cut.
+				s.serveTruncated(w, p, f.DropAfter)
+				return
+			}
+			// Upstream drop: drain DropAfter upload bytes, then cut the
+			// connection with no response at all.
+			io.CopyN(io.Discard, r.Body, f.DropAfter)
+			panic(http.ErrAbortHandler)
+		}
+		if f.StallBody > 0 {
+			if r.Method == http.MethodGet {
+				s.serveStalled(w, p, f.StallBody)
+				return
+			}
+			// Bodied request: stop draining at the halfway point for the
+			// stall, then continue normally — the client sees its upload
+			// freeze mid-body.
+			r.Body = &pauseBody{rc: r.Body, pause: f.StallBody, at: r.ContentLength / 2}
 		}
 		if f.CorruptXOR != 0 && r.Method == http.MethodGet {
 			s.serveCorrupt(w, r, p, f)
@@ -383,6 +562,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.servePut(w, r, p)
 	case "COPY":
 		s.serveCopy(w, r, p)
+	case "MOVE":
+		s.serveMove(w, r, p)
 	case http.MethodDelete:
 		s.serveDelete(w, p)
 	case "MKCOL":
@@ -390,7 +571,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case "PROPFIND":
 		s.servePropfind(w, r, p)
 	case http.MethodOptions:
-		w.Header().Set("Allow", "OPTIONS, GET, HEAD, PUT, DELETE, MKCOL, PROPFIND, COPY")
+		w.Header().Set("Allow", "OPTIONS, GET, HEAD, PUT, DELETE, MKCOL, PROPFIND, COPY, MOVE")
 		w.Header().Set("DAV", "1")
 		w.WriteHeader(http.StatusOK)
 	default:
@@ -696,6 +877,7 @@ func (s *Server) serveRangedPut(w http.ResponseWriter, r *http.Request, p, cr st
 			}
 			pu = fresh
 			s.partials[key] = pu
+			s.maybeStartJanitorLocked()
 		}
 	}
 	if int64(len(pu.data)) != total {
@@ -767,14 +949,65 @@ func (s *Server) serveRangedPut(w http.ResponseWriter, r *http.Request, p, cr st
 	w.WriteHeader(http.StatusCreated)
 }
 
-// sweepPartialsLocked drops assemblies idle past partialTTL, never one
-// with a chunk body still streaming in. Caller holds partialMu.
+// sweepPartialsLocked drops assemblies idle past the TTL, never one with a
+// chunk body still streaming in. Caller holds partialMu.
 func (s *Server) sweepPartialsLocked() {
-	cutoff := time.Now().Add(-partialTTL)
+	now := time.Now()
+	cutoff := now.Add(-s.partialTTLValue())
 	for k, pu := range s.partials {
 		if pu.active == 0 && pu.lastTouch.Before(cutoff) {
 			delete(s.partials, k)
+			s.partialReaped.Add(1)
+			s.opts.Trace.EmitPartialReaped(k.path, now.Sub(pu.lastTouch))
 		}
+	}
+}
+
+// maybeStartJanitorLocked launches the TTL janitor if it is not already
+// running — called when an assembly is created, so a server that never sees
+// a ranged upload never runs the goroutine. Caller holds partialMu.
+func (s *Server) maybeStartJanitorLocked() {
+	if s.janitorOn {
+		return
+	}
+	select {
+	case <-s.closeCh:
+		return
+	default:
+	}
+	s.janitorOn = true
+	go s.janitor()
+}
+
+// janitor periodically reaps abandoned assemblies: an aborted multi-stream
+// upload's buffer is reclaimed after the TTL even if no further ranged PUT
+// ever arrives (the historical sweep only ran on new-assembly creation, so
+// the last crashed upload leaked forever). Exits when the table empties —
+// the next assembly restarts it — or when the Server is closed.
+func (s *Server) janitor() {
+	tick := s.partialTTLValue() / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-s.closeCh:
+			s.partialMu.Lock()
+			s.janitorOn = false
+			s.partialMu.Unlock()
+			return
+		}
+		s.partialMu.Lock()
+		s.sweepPartialsLocked()
+		if len(s.partials) == 0 {
+			s.janitorOn = false
+			s.partialMu.Unlock()
+			return
+		}
+		s.partialMu.Unlock()
 	}
 }
 
@@ -841,17 +1074,55 @@ func (s *Server) serveTruncated(w http.ResponseWriter, p string, n int64) {
 	panic(http.ErrAbortHandler)
 }
 
-// serveCopy implements third-party push copy: the object at p is uploaded
-// to the Destination URL by the server itself, so the data never flows
-// through the requesting client — the WLCG HTTP-TPC pattern.
-func (s *Server) serveCopy(w http.ResponseWriter, r *http.Request, p string) {
-	if s.opts.Copier == nil {
-		http.Error(w, "third-party copy not enabled", http.StatusNotImplemented)
-		return
+// localDest resolves a Destination header against this server: a path-only
+// Destination, or an absolute URL whose host (modulo default port) is this
+// server's own, names a local namespace path.
+func localDest(r *http.Request, dest string) (string, bool) {
+	if strings.HasPrefix(dest, "/") {
+		return storage.Clean(dest), true
 	}
+	dHost, dPath, err := metalink.SplitURL(dest)
+	if err != nil {
+		return "", false
+	}
+	if hostEq(dHost, r.Host) {
+		return storage.Clean(dPath), true
+	}
+	return "", false
+}
+
+// hostEq compares two host[:port] strings, treating a missing port as :80.
+func hostEq(a, b string) bool {
+	norm := func(h string) string {
+		if _, _, err := net.SplitHostPort(h); err != nil {
+			return h + ":80"
+		}
+		return h
+	}
+	return norm(a) == norm(b)
+}
+
+// serveCopy implements WebDAV COPY. A Destination on this server is a local
+// namespace copy through the store's two-key path; a foreign Destination is
+// third-party push copy — the object is uploaded to the Destination URL by
+// the server itself, so the data never flows through the requesting client
+// (the WLCG HTTP-TPC pattern).
+func (s *Server) serveCopy(w http.ResponseWriter, r *http.Request, p string) {
 	dest := r.Header.Get("Destination")
 	if dest == "" {
 		http.Error(w, "missing Destination header", http.StatusBadRequest)
+		return
+	}
+	if dPath, ok := localDest(r, dest); ok {
+		if err := s.store.Copy(p, dPath); err != nil {
+			writeStoreErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		return
+	}
+	if s.opts.Copier == nil {
+		http.Error(w, "third-party copy not enabled", http.StatusNotImplemented)
 		return
 	}
 	dHost, dPath, err := metalink.SplitURL(dest)
@@ -870,6 +1141,71 @@ func (s *Server) serveCopy(w http.ResponseWriter, r *http.Request, p string) {
 	}
 	w.WriteHeader(http.StatusCreated)
 }
+
+// serveMove implements WebDAV MOVE for Destinations on this server; a
+// cross-server MOVE (push + delete) is not offered.
+func (s *Server) serveMove(w http.ResponseWriter, r *http.Request, p string) {
+	dest := r.Header.Get("Destination")
+	if dest == "" {
+		http.Error(w, "missing Destination header", http.StatusBadRequest)
+		return
+	}
+	dPath, ok := localDest(r, dest)
+	if !ok {
+		http.Error(w, "cross-server MOVE not supported", http.StatusNotImplemented)
+		return
+	}
+	if err := s.store.Move(p, dPath); err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+// serveStalled is the StallBody fault's GET side: declare the full length,
+// send half, flush, go silent for the stall, then finish. A client with
+// stall detection should cut the connection during the pause.
+func (s *Server) serveStalled(w http.ResponseWriter, p string, pause time.Duration) {
+	data, inf, err := s.store.Get(p)
+	if err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	w.Header().Set("X-Checksum", inf.Checksum)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	half := len(data) / 2
+	w.Write(data[:half])
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	time.Sleep(pause)
+	w.Write(data[half:])
+}
+
+// pauseBody is the StallBody fault's upload side: the server stops draining
+// the request body once at the configured byte mark, freezing the client's
+// upload mid-stream.
+type pauseBody struct {
+	rc     io.ReadCloser
+	pause  time.Duration
+	at     int64
+	n      int64
+	paused bool
+}
+
+func (b *pauseBody) Read(p []byte) (int, error) {
+	if !b.paused && b.n >= b.at {
+		b.paused = true
+		time.Sleep(b.pause)
+	}
+	n, err := b.rc.Read(p)
+	b.n += int64(n)
+	return n, err
+}
+
+func (b *pauseBody) Close() error { return b.rc.Close() }
 
 func writeStoreErr(w http.ResponseWriter, err error) {
 	switch {

@@ -1,0 +1,450 @@
+package httpserv
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"godavix/internal/obs"
+)
+
+func snapValue(t *testing.T, s *Server, name string) int64 {
+	t.Helper()
+	for _, c := range s.Snapshot().Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	t.Fatalf("snapshot has no counter %q", name)
+	return 0
+}
+
+// TestAdmissionShedsWithRetryAfter floods a 2-slot gateway whose handler
+// blocks, and checks the overflow is shed with 503 + Retry-After while
+// admitted requests complete once unblocked.
+func TestAdmissionShedsWithRetryAfter(t *testing.T) {
+	gate := make(chan struct{})
+	var shedSeen atomic.Int64
+	srv, ts, st := newTestServer(t, Options{
+		Limits: Limits{MaxInFlight: 2, QueueDepth: 1, QueueWait: 20 * time.Millisecond},
+		Trace: &obs.ServerTrace{
+			Shed: func(client, reason string, ra time.Duration) { shedSeen.Add(1) },
+		},
+	})
+	if err := st.Put("/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetFault("/slow", Fault{Delay: time.Hour, Remaining: -1})
+	_ = gate
+
+	// Fill both slots and the single queue seat with requests that park in
+	// the delay fault.
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := http.Client{Timeout: 2 * time.Second}
+			c.Get(ts.URL + "/slow")
+		}()
+	}
+	// Wait until all three occupy the admission controller.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.adm.inflight.Load()+srv.adm.queued.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("slots never filled: inflight=%d queued=%d",
+				srv.adm.inflight.Load(), srv.adm.queued.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Get(ts.URL + "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want integer seconds >= 1", ra)
+	}
+	if shedSeen.Load() == 0 {
+		t.Fatal("shed trace hook never fired")
+	}
+	if got := snapValue(t, srv, "shed_total"); got == 0 {
+		t.Fatal("shed_total = 0 after shed")
+	}
+	// The parked requests hold Timeout'd clients; let them expire.
+	wg.Wait()
+}
+
+// TestPerClientConcurrencyCap checks one client cannot occupy more than its
+// per-client share while another client is still admitted.
+func TestPerClientConcurrencyCap(t *testing.T) {
+	srv, ts, st := newTestServer(t, Options{
+		Limits: Limits{MaxInFlight: 8, PerClientConcurrency: 1, QueueWait: 10 * time.Millisecond},
+	})
+	if err := st.Put("/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetFault("/slow", Fault{Delay: 200 * time.Millisecond, Remaining: -1})
+
+	// Hog: one bearer identity parks a request in the delay fault.
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/slow", nil)
+		req.Header.Set("Authorization", "Bearer hog")
+		close(started)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.adm.inflight.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("hog request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The hog's second request is shed by its concurrency cap...
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/f", nil)
+	req.Header.Set("Authorization", "Bearer hog")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("hog second request status = %d, want 503", resp.StatusCode)
+	}
+
+	// ...while a different client sails through.
+	req2, _ := http.NewRequest(http.MethodGet, ts.URL+"/f", nil)
+	req2.Header.Set("Authorization", "Bearer polite")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("other client status = %d, want 200", resp2.StatusCode)
+	}
+	if got := snapValue(t, srv, "shed_client_concurrency_total"); got != 1 {
+		t.Fatalf("shed_client_concurrency_total = %d, want 1", got)
+	}
+	<-done
+}
+
+// TestPerClientRateLimit exhausts one client's token bucket and checks the
+// overflow is shed with the rate reason.
+func TestPerClientRateLimit(t *testing.T) {
+	srv, ts, st := newTestServer(t, Options{
+		Limits: Limits{MaxInFlight: 32, PerClientRate: 0.001, PerClientBurst: 2},
+	})
+	if err := st.Put("/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	codes := []int{}
+	for i := 0; i < 4; i++ {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/f", nil)
+		req.Header.Set("Authorization", "Bearer bursty")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	want := []int{200, 200, 503, 503}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("request %d status = %d, want %d (all: %v)", i, codes[i], want[i], codes)
+		}
+	}
+	if got := snapValue(t, srv, "shed_client_rate_total"); got != 2 {
+		t.Fatalf("shed_client_rate_total = %d, want 2", got)
+	}
+}
+
+// TestBodyStallKilled is the slow-loris test: a client that trickles its
+// upload slower than BodyStallTimeout is cut off, and the stall counter
+// records the kill.
+func TestBodyStallKilled(t *testing.T) {
+	srv, ts, _ := newTestServer(t, Options{
+		Limits: Limits{BodyStallTimeout: 30 * time.Millisecond},
+	})
+
+	pr, pw := io.Pipe()
+	go func() {
+		pw.Write([]byte("begin-"))
+		time.Sleep(400 * time.Millisecond) // far past the stall deadline
+		pw.Write([]byte("end"))
+		pw.Close()
+	}()
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/f", pr)
+	req.ContentLength = int64(len("begin-end"))
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusCreated {
+			t.Fatal("stalled upload committed")
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.stallKills.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stall kill never recorded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestHealthyUploadUnaffectedByStallGuard checks a normal-speed upload
+// commits under an armed BodyStallTimeout.
+func TestHealthyUploadUnaffectedByStallGuard(t *testing.T) {
+	_, ts, st := newTestServer(t, Options{
+		Limits: Limits{BodyStallTimeout: 200 * time.Millisecond},
+	})
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/f", strings.NewReader("payload"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d, want 201", resp.StatusCode)
+	}
+	if data, _, err := st.Get("/f"); err != nil || string(data) != "payload" {
+		t.Fatalf("stored = %q, %v", data, err)
+	}
+}
+
+// TestPartialUploadTTLReaped is the leak regression test: an assembly whose
+// commit chunk never arrives must be reaped by the janitor with no further
+// requests, returning the partial-uploads gauge to zero.
+func TestPartialUploadTTLReaped(t *testing.T) {
+	var reaped atomic.Int64
+	srv, ts, _ := newTestServer(t, Options{
+		Limits: Limits{PartialTTL: 40 * time.Millisecond},
+		Trace: &obs.ServerTrace{
+			PartialReaped: func(path string, age time.Duration) { reaped.Add(1) },
+		},
+	})
+
+	// First chunk of a two-chunk upload; the second never comes.
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/f", strings.NewReader("aaaa"))
+	req.Header.Set("Content-Range", "bytes 0-3/8")
+	req.Header.Set("X-Upload-Id", "crashed")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("chunk status = %d, want 202", resp.StatusCode)
+	}
+	if got := snapValue(t, srv, "partial_uploads"); got != 1 {
+		t.Fatalf("partial_uploads = %d after chunk, want 1", got)
+	}
+
+	// No further requests: the janitor alone must reclaim the assembly.
+	deadline := time.Now().Add(2 * time.Second)
+	for snapValue(t, srv, "partial_uploads") != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("partial_uploads stuck at %d after TTL", snapValue(t, srv, "partial_uploads"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if reaped.Load() == 0 {
+		t.Fatal("PartialReaped trace hook never fired")
+	}
+	if got := snapValue(t, srv, "partial_reaped_total"); got != 1 {
+		t.Fatalf("partial_reaped_total = %d, want 1", got)
+	}
+}
+
+// TestFaultDropAfterGet checks the DropAfter fault cuts a download
+// mid-body after exactly N bytes.
+func TestFaultDropAfterGet(t *testing.T) {
+	srv, ts, st := newTestServer(t, Options{})
+	if err := st.Put("/f", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetFault("/f", Fault{DropAfter: 4})
+	resp, err := http.Get(ts.URL + "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.ContentLength != 10 {
+		t.Fatalf("Content-Length = %d, want 10 (full size declared)", resp.ContentLength)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("read completed with %d bytes, want mid-body cut", len(body))
+	}
+	if len(body) != 4 {
+		t.Fatalf("received %d bytes before cut, want 4", len(body))
+	}
+}
+
+// TestFaultDropAfterPut checks the DropAfter fault kills an upload's
+// connection after draining N bytes, with no HTTP response.
+func TestFaultDropAfterPut(t *testing.T) {
+	srv, ts, st := newTestServer(t, Options{})
+	srv.SetFault("/f", Fault{DropAfter: 4})
+	body := strings.Repeat("x", 1<<16)
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/f", strings.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("PUT got response %d, want connection failure", resp.StatusCode)
+	}
+	if _, err := st.Stat("/f"); err == nil {
+		t.Fatal("dropped upload committed to the store")
+	}
+}
+
+// TestFaultStallBodyGet checks the StallBody fault pauses a download
+// mid-body but then completes it byte-identically.
+func TestFaultStallBodyGet(t *testing.T) {
+	srv, ts, st := newTestServer(t, Options{})
+	if err := st.Put("/f", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetFault("/f", Fault{StallBody: 80 * time.Millisecond})
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "0123456789" {
+		t.Fatalf("body = %q", body)
+	}
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("download finished in %v, want >= stall pause", d)
+	}
+}
+
+// TestLocalCopyAndMove covers same-server COPY and MOVE through the store's
+// two-key namespace operations.
+func TestLocalCopyAndMove(t *testing.T) {
+	_, ts, st := newTestServer(t, Options{})
+	if err := st.Put("/a", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+
+	do := func(method, path, dest string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(method, ts.URL+path, nil)
+		req.Header.Set("Destination", dest)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	// Path-only Destination.
+	if resp := do("COPY", "/a", "/copied"); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("COPY status = %d, want 201", resp.StatusCode)
+	}
+	if data, _, err := st.Get("/copied"); err != nil || string(data) != "data" {
+		t.Fatalf("copied = %q, %v", data, err)
+	}
+	if _, err := st.Stat("/a"); err != nil {
+		t.Fatalf("COPY removed the source: %v", err)
+	}
+
+	// Absolute-URL Destination on this same server.
+	if resp := do("MOVE", "/a", ts.URL+"/moved"); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("MOVE status = %d, want 201", resp.StatusCode)
+	}
+	if _, err := st.Stat("/a"); err == nil {
+		t.Fatal("MOVE left the source behind")
+	}
+	if data, _, err := st.Get("/moved"); err != nil || string(data) != "data" {
+		t.Fatalf("moved = %q, %v", data, err)
+	}
+
+	// Cross-server MOVE is refused.
+	if resp := do("MOVE", "/moved", "http://elsewhere:80/x"); resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("cross-server MOVE status = %d, want 501", resp.StatusCode)
+	}
+}
+
+// ctxProbeCopier records whether the context handed to downstream storage
+// work carried a deadline.
+type ctxProbeCopier struct {
+	hasDeadline bool
+	remaining   time.Duration
+}
+
+func (c *ctxProbeCopier) Put(ctx context.Context, host, path string, data []byte) error {
+	var dl time.Time
+	dl, c.hasDeadline = ctx.Deadline()
+	if c.hasDeadline {
+		c.remaining = time.Until(dl)
+	}
+	return nil
+}
+
+// TestRequestBudgetCancelsContext checks the whole-request budget reaches
+// downstream storage work (here a TPC push) through the request context, so
+// an abandoned or overlong request cancels its server-side work.
+func TestRequestBudgetCancelsContext(t *testing.T) {
+	cp := &ctxProbeCopier{}
+	_, ts, st := newTestServer(t, Options{
+		Copier: cp,
+		Limits: Limits{RequestBudget: 500 * time.Millisecond},
+	})
+	if err := st.Put("/a", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest("COPY", ts.URL+"/a", nil)
+	req.Header.Set("Destination", "http://elsewhere:80/x")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("COPY status = %d, want 201", resp.StatusCode)
+	}
+	if !cp.hasDeadline {
+		t.Fatal("downstream context carried no deadline under RequestBudget")
+	}
+	if cp.remaining > 510*time.Millisecond {
+		t.Fatalf("context deadline %v away, want <= the budget", cp.remaining)
+	}
+}

@@ -80,8 +80,21 @@ func (n *Network) Dials() int64 {
 	return n.dials
 }
 
-// Listen starts accepting connections on addr.
+// Listen starts accepting connections on addr with the default accept
+// backlog.
 func (n *Network) Listen(addr string) (net.Listener, error) {
+	return n.ListenBacklog(addr, 16)
+}
+
+// ListenBacklog starts accepting connections on addr with an explicit
+// accept backlog — the simulated SYN queue. Load benchmarks dialing
+// hundreds of clients at once need a deeper backlog than the default 16 so
+// connection setup is not serialized by Dial blocking on the accept
+// channel.
+func (n *Network) ListenBacklog(addr string, backlog int) (net.Listener, error) {
+	if backlog < 1 {
+		backlog = 1
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, ok := n.listeners[addr]; ok {
@@ -90,7 +103,7 @@ func (n *Network) Listen(addr string) (net.Listener, error) {
 	l := &Listener{
 		net:    n,
 		addr:   Addr(addr),
-		accept: make(chan *Conn, 16),
+		accept: make(chan *Conn, backlog),
 		done:   make(chan struct{}),
 	}
 	n.listeners[addr] = l

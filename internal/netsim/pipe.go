@@ -56,16 +56,20 @@ func (q *segQueue) push(data []byte, at time.Time) {
 }
 
 // pop blocks until data is available and its arrival time has passed,
-// the queue is closed/aborted, or the deadline expires.
+// the queue is closed/aborted, or the deadline expires. Data that has
+// already arrived is delivered even when the deadline has passed: the
+// deadline models a peer that stopped sending, so it must only interrupt
+// reads that would otherwise block. Checking it against wall time before
+// looking at arrived segments would turn scheduling hiccups of the
+// simulation process itself (GC, a busy runtime under hundreds of
+// simulated clients) into spurious timeouts that no real kernel, which
+// buffers arriving bytes while the process is off-CPU, would produce.
 func (q *segQueue) pop(p []byte) (int, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
 		if q.aborted {
 			return 0, ErrAborted
-		}
-		if !q.deadline.IsZero() && !time.Now().Before(q.deadline) {
-			return 0, errTimeout
 		}
 		if len(q.segs) > 0 {
 			seg := &q.segs[0]
@@ -79,14 +83,26 @@ func (q *segQueue) pop(p []byte) (int, error) {
 				}
 				return n, nil
 			}
+			if !q.deadline.IsZero() && !time.Now().Before(q.deadline) {
+				return 0, errTimeout
+			}
 			// Data exists but has not "arrived" yet: sleep outside the
-			// lock-free fast path by waking ourselves when it lands.
+			// lock-free fast path by waking ourselves when it lands (or
+			// when the deadline fires, whichever comes first).
+			if !q.deadline.IsZero() {
+				if d := time.Until(q.deadline); d < wait {
+					wait = d
+				}
+			}
 			q.wakeAfter(wait)
 			q.cond.Wait()
 			continue
 		}
 		if q.closed {
 			return 0, io.EOF
+		}
+		if !q.deadline.IsZero() && !time.Now().Before(q.deadline) {
+			return 0, errTimeout
 		}
 		if !q.deadline.IsZero() {
 			q.wakeAfter(time.Until(q.deadline))

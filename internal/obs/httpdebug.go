@@ -41,6 +41,11 @@ func (w *accessWriter) Flush() {
 	}
 }
 
+// Unwrap exposes the wrapped writer so http.ResponseController keeps
+// working through the access log (the gateway arms per-read body deadlines
+// for slow-loris protection, which needs the real connection).
+func (w *accessWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // AccessLog wraps next with a structured access log on l: one Info record
 // per request carrying method, path, status, response bytes, duration and
 // remote address. The record is emitted even when the handler panics with

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServerTraceNilSafe(t *testing.T) {
+	var tr *ServerTrace
+	tr.EmitAdmitted("c", true, time.Millisecond)
+	tr.EmitShed("c", "capacity", time.Second)
+	tr.EmitSlowClient("c", "read-stall")
+	tr.EmitPartialReaped("/p", time.Minute)
+
+	partial := &ServerTrace{}
+	partial.EmitAdmitted("c", false, 0)
+	partial.EmitShed("c", "capacity", 0)
+}
+
+func TestMergeServer(t *testing.T) {
+	if got := MergeServer(nil, nil); got != nil {
+		t.Fatal("MergeServer(nil, nil) != nil")
+	}
+	a := &ServerTrace{}
+	if got := MergeServer(a, nil); got != a {
+		t.Fatal("MergeServer(a, nil) != a")
+	}
+	if got := MergeServer(nil, a); got != a {
+		t.Fatal("MergeServer(nil, a) != a")
+	}
+
+	var order []string
+	first := &ServerTrace{
+		Shed: func(client, reason string, ra time.Duration) {
+			order = append(order, "first:"+reason)
+		},
+	}
+	second := &ServerTrace{
+		Shed: func(client, reason string, ra time.Duration) {
+			order = append(order, "second:"+reason)
+		},
+		Admitted: func(client string, queued bool, wait time.Duration) {
+			order = append(order, "second:admitted")
+		},
+	}
+	m := MergeServer(first, second)
+	m.EmitShed("c", "capacity", time.Second)
+	m.EmitAdmitted("c", false, 0)
+	want := []string{"first:capacity", "second:capacity", "second:admitted"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSlogServerTrace(t *testing.T) {
+	if SlogServerTrace(nil) != nil {
+		t.Fatal("SlogServerTrace(nil) != nil")
+	}
+	var buf bytes.Buffer
+	tr := SlogServerTrace(slog.New(slog.NewTextHandler(&buf, nil)))
+	tr.EmitShed("client-1", "capacity", 2*time.Second)
+	tr.EmitSlowClient("client-2", "read-stall")
+	tr.EmitPartialReaped("/store/f", time.Minute)
+	out := buf.String()
+	for _, want := range []string{"gateway shed", "capacity", "client-1",
+		"gateway slow client killed", "read-stall",
+		"gateway partial upload reaped", "/store/f"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log output missing %q:\n%s", want, out)
+		}
+	}
+}

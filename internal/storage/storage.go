@@ -58,6 +58,11 @@ type Store interface {
 	List(p string) ([]Info, error)
 	// Mkdir creates a directory at p (parents required to exist).
 	Mkdir(p string) error
+	// Copy duplicates the object at src to dst, creating dst's parents.
+	Copy(src, dst string) error
+	// Move renames the object at src to dst, creating dst's parents. The
+	// source entry is gone once dst exists.
+	Move(src, dst string) error
 }
 
 // Checksum renders the WLCG-style Adler-32 checksum of data.
@@ -71,44 +76,87 @@ func Clean(p string) string {
 	return p
 }
 
-// memEntry is a node in the in-memory namespace tree.
+// memEntry is one namespace entry in the flat sharded map: an immutable
+// blob (files; data is never mutated after insertion, so readers may share
+// the slice) or a directory with its registered child names.
 type memEntry struct {
 	data     []byte
 	checksum string // computed once at Put
 	modTime  time.Time
 	dir      bool
-	children map[string]*memEntry
+	children map[string]bool // child base names; dirs only
 }
 
-// MemStore is an in-memory Store, safe for concurrent use.
+// memShards spreads the namespace over independent locks (the same FNV-1a
+// pattern as internal/pool's host shards). A power of two so the hash maps
+// with a mask; 32 shards keep one hot directory from serializing writes to
+// the rest of the namespace under thousands of concurrent gateway requests.
+const memShards = 32
+
+// memShard guards the subset of paths hashing onto it.
+type memShard struct {
+	mu      sync.RWMutex
+	entries map[string]*memEntry
+}
+
+// MemStore is an in-memory Store, safe for concurrent use. The namespace is
+// a flat map from clean path to entry, fnv-sharded by path: operations on
+// paths in different shards never contend. Structural operations that touch
+// several paths (registering an object in its parent directory, Copy/Move)
+// acquire every involved shard in index order — the ordered multi-key
+// discipline that makes deadlock impossible regardless of which direction
+// concurrent Copy("/a","/b") and Copy("/b","/a") run.
 type MemStore struct {
-	mu   sync.RWMutex
-	root *memEntry
-	now  func() time.Time
+	shards [memShards]memShard
+	now    func() time.Time
 }
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
-	return &MemStore{
-		root: &memEntry{dir: true, children: map[string]*memEntry{}},
-		now:  time.Now,
+	s := &MemStore{now: time.Now}
+	for i := range s.shards {
+		s.shards[i].entries = make(map[string]*memEntry)
 	}
+	root := s.shardFor("/")
+	root.entries["/"] = &memEntry{dir: true, children: map[string]bool{}, modTime: s.now()}
+	return s
 }
 
-// lookup walks to the entry at p. Caller holds at least a read lock.
-func (s *MemStore) lookup(p string) (*memEntry, error) {
-	cur := s.root
-	for _, part := range splitPath(p) {
-		if !cur.dir {
-			return nil, ErrNotDir
-		}
-		next, ok := cur.children[part]
-		if !ok {
-			return nil, ErrNotFound
-		}
-		cur = next
+// shardIdx hashes a clean path (FNV-1a) onto its shard index.
+func shardIdx(p string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(p); i++ {
+		h = (h ^ uint32(p[i])) * 16777619
 	}
-	return cur, nil
+	return int(h & (memShards - 1))
+}
+
+func (s *MemStore) shardFor(p string) *memShard { return &s.shards[shardIdx(p)] }
+
+// lockAll write-locks the shards of every path in order of shard index,
+// each shard once, and returns the unlock. Taking multi-path locks only
+// through this helper is what guarantees lock-order safety: two goroutines
+// locking overlapping path sets always acquire the shared shards in the
+// same (index) order.
+func (s *MemStore) lockAll(paths ...string) (unlock func()) {
+	var idxs []int
+	for _, p := range paths {
+		idxs = append(idxs, shardIdx(p))
+	}
+	sort.Ints(idxs)
+	locked := idxs[:0]
+	for _, i := range idxs {
+		if len(locked) > 0 && locked[len(locked)-1] == i {
+			continue // same shard: one lock covers both paths
+		}
+		s.shards[i].mu.Lock()
+		locked = append(locked, i)
+	}
+	return func() {
+		for j := len(locked) - 1; j >= 0; j-- {
+			s.shards[locked[j]].mu.Unlock()
+		}
+	}
 }
 
 func splitPath(p string) []string {
@@ -119,7 +167,7 @@ func splitPath(p string) []string {
 	return strings.Split(p, "/")
 }
 
-func (s *MemStore) infoFor(p string, e *memEntry) Info {
+func infoFor(p string, e *memEntry) Info {
 	p = Clean(p)
 	inf := Info{
 		Name:    path.Base(p),
@@ -134,20 +182,74 @@ func (s *MemStore) infoFor(p string, e *memEntry) Info {
 	return inf
 }
 
+// getEntry reads the entry at clean path p under its shard's read lock.
+func (s *MemStore) getEntry(p string) *memEntry {
+	sh := s.shardFor(p)
+	sh.mu.RLock()
+	e := sh.entries[p]
+	sh.mu.RUnlock()
+	return e
+}
+
+// ensureDir walks down to clean path dir, creating missing directories and
+// registering each in its parent, one ordered parent+child shard pair at a
+// time. A parent vanishing mid-walk (concurrent Delete of a just-created
+// empty directory) restarts the walk; the bound only guards against a bug
+// ever looping forever.
+func (s *MemStore) ensureDir(dir string) error {
+	parts := splitPath(dir)
+restart:
+	for attempt := 0; attempt < 1000; attempt++ {
+		cur := "/"
+		for _, part := range parts {
+			child := cur + part
+			if cur != "/" {
+				child = cur + "/" + part
+			}
+			unlock := s.lockAll(cur, child)
+			pe := s.shardFor(cur).entries[cur]
+			if pe == nil {
+				unlock()
+				continue restart
+			}
+			if !pe.dir {
+				unlock()
+				return ErrNotDir
+			}
+			ce := s.shardFor(child).entries[child]
+			switch {
+			case ce == nil:
+				s.shardFor(child).entries[child] = &memEntry{
+					dir: true, children: map[string]bool{}, modTime: s.now(),
+				}
+				pe.children[part] = true
+			case !ce.dir:
+				unlock()
+				return ErrNotDir
+			default:
+				pe.children[part] = true // idempotent re-registration
+			}
+			unlock()
+			cur = child
+		}
+		return nil
+	}
+	return fmt.Errorf("storage: ensureDir %s: namespace churn did not settle", dir)
+}
+
 // Get implements Store.
 func (s *MemStore) Get(p string) ([]byte, Info, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, err := s.lookup(p)
-	if err != nil {
-		return nil, Info{}, err
+	p = Clean(p)
+	e := s.getEntry(p)
+	if e == nil {
+		return nil, Info{}, ErrNotFound
 	}
 	if e.dir {
 		return nil, Info{}, ErrIsDir
 	}
 	// Callers must not mutate the returned slice; the HTTP and xrootd
 	// servers only read it.
-	return e.data, s.infoFor(p, e), nil
+	return e.data, infoFor(p, e), nil
 }
 
 // Put implements Store, creating parent directories as needed.
@@ -161,86 +263,124 @@ func (s *MemStore) Put(p string, data []byte) error {
 // not retain or mutate it afterwards. It skips Put's defensive copy, which
 // matters to the test server's assembled multi-MiB ranged uploads.
 func (s *MemStore) PutOwned(p string, data []byte) error {
-	parts := splitPath(p)
-	if len(parts) == 0 {
+	p = Clean(p)
+	if p == "/" {
 		return ErrIsDir
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cur := s.root
-	for _, part := range parts[:len(parts)-1] {
-		next, ok := cur.children[part]
-		if !ok {
-			next = &memEntry{dir: true, children: map[string]*memEntry{}, modTime: s.now()}
-			cur.children[part] = next
-		}
-		if !next.dir {
-			return ErrNotDir
-		}
-		cur = next
-	}
-	name := parts[len(parts)-1]
-	if e, ok := cur.children[name]; ok && e.dir {
-		return ErrIsDir
-	}
-	cur.children[name] = &memEntry{data: data, checksum: Checksum(data), modTime: s.now()}
-	return nil
+	entry := &memEntry{data: data, checksum: Checksum(data), modTime: s.now()}
+	return s.insert(p, entry, false)
 }
 
-// Delete implements Store. Directories must be empty.
+// insert places entry at clean path p, creating parents and registering p
+// in its parent directory under one ordered parent+child lock — the write
+// and the registration are atomic, so a concurrent Delete can never leave
+// a statable-but-unlisted phantom. exclusive refuses to replace an
+// existing entry (Mkdir semantics).
+func (s *MemStore) insert(p string, entry *memEntry, exclusive bool) error {
+	parent := path.Dir(p)
+	name := path.Base(p)
+	for attempt := 0; attempt < 1000; attempt++ {
+		if !entry.dir {
+			if err := s.ensureDir(parent); err != nil {
+				return err
+			}
+		}
+		unlock := s.lockAll(parent, p)
+		pe := s.shardFor(parent).entries[parent]
+		if pe == nil {
+			unlock()
+			if entry.dir {
+				// Mkdir requires parents to exist.
+				return ErrNotFound
+			}
+			continue // parent deleted between ensureDir and lock: re-ensure
+		}
+		if !pe.dir {
+			unlock()
+			if entry.dir {
+				return ErrNotFound
+			}
+			return ErrNotDir
+		}
+		old := s.shardFor(p).entries[p]
+		if old != nil && (old.dir || exclusive) {
+			unlock()
+			if exclusive {
+				return ErrExists
+			}
+			return ErrIsDir
+		}
+		s.shardFor(p).entries[p] = entry
+		pe.children[name] = true
+		unlock()
+		return nil
+	}
+	return fmt.Errorf("storage: insert %s: namespace churn did not settle", p)
+}
+
+// Delete implements Store. Directories must be empty. The entry removal and
+// its deregistration from the parent happen under one ordered lock pair.
 func (s *MemStore) Delete(p string) error {
-	parts := splitPath(p)
-	if len(parts) == 0 {
+	p = Clean(p)
+	if p == "/" {
 		return ErrIsDir
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	parent := s.root
-	for _, part := range parts[:len(parts)-1] {
-		next, ok := parent.children[part]
-		if !ok || !next.dir {
-			return ErrNotFound
-		}
-		parent = next
-	}
-	name := parts[len(parts)-1]
-	e, ok := parent.children[name]
-	if !ok {
+	parent := path.Dir(p)
+	name := path.Base(p)
+	unlock := s.lockAll(parent, p)
+	defer unlock()
+	e := s.shardFor(p).entries[p]
+	if e == nil {
 		return ErrNotFound
 	}
 	if e.dir && len(e.children) > 0 {
-		return fmt.Errorf("storage: directory not empty: %s", Clean(p))
+		return fmt.Errorf("storage: directory not empty: %s", p)
 	}
-	delete(parent.children, name)
+	delete(s.shardFor(p).entries, p)
+	if pe := s.shardFor(parent).entries[parent]; pe != nil && pe.dir {
+		delete(pe.children, name)
+	}
 	return nil
 }
 
 // Stat implements Store.
 func (s *MemStore) Stat(p string) (Info, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, err := s.lookup(p)
-	if err != nil {
-		return Info{}, err
+	p = Clean(p)
+	e := s.getEntry(p)
+	if e == nil {
+		return Info{}, ErrNotFound
 	}
-	return s.infoFor(p, e), nil
+	return infoFor(p, e), nil
 }
 
-// List implements Store.
+// List implements Store. The child-name snapshot is taken under the
+// directory's shard lock; each child is then described under its own
+// shard's lock (one vanishing concurrently is simply skipped).
 func (s *MemStore) List(p string) ([]Info, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, err := s.lookup(p)
-	if err != nil {
-		return nil, err
+	p = Clean(p)
+	sh := s.shardFor(p)
+	sh.mu.RLock()
+	e := sh.entries[p]
+	if e == nil {
+		sh.mu.RUnlock()
+		return nil, ErrNotFound
 	}
 	if !e.dir {
+		sh.mu.RUnlock()
 		return nil, ErrNotDir
 	}
-	out := make([]Info, 0, len(e.children))
-	base := Clean(p)
-	for name, child := range e.children {
-		out = append(out, s.infoFor(path.Join(base, name), child))
+	names := make([]string, 0, len(e.children))
+	for name := range e.children {
+		names = append(names, name)
+	}
+	sh.mu.RUnlock()
+
+	out := make([]Info, 0, len(names))
+	for _, name := range names {
+		cp := path.Join(p, name)
+		if ce := s.getEntry(cp); ce != nil {
+			out = append(out, infoFor(cp, ce))
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
@@ -248,26 +388,87 @@ func (s *MemStore) List(p string) ([]Info, error) {
 
 // Mkdir implements Store.
 func (s *MemStore) Mkdir(p string) error {
-	parts := splitPath(p)
-	if len(parts) == 0 {
+	p = Clean(p)
+	if p == "/" {
 		return ErrExists
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	parent := s.root
-	for _, part := range parts[:len(parts)-1] {
-		next, ok := parent.children[part]
-		if !ok || !next.dir {
+	return s.insert(p, &memEntry{dir: true, children: map[string]bool{}, modTime: s.now()}, true)
+}
+
+// Copy implements Store: dst becomes a new object with src's bytes. Blobs
+// are immutable, so the copy shares the data slice. Source, destination and
+// destination parent shards are taken in one ordered acquisition, making
+// the read-src/write-dst/register-dst step atomic.
+func (s *MemStore) Copy(src, dst string) error {
+	return s.twoKey(src, dst, false)
+}
+
+// Move implements Store: src is renamed to dst. The removal of src (entry +
+// parent registration) and the creation of dst are one atomic step under
+// the ordered multi-shard lock — no moment exists where both or neither
+// path holds the object.
+func (s *MemStore) Move(src, dst string) error {
+	return s.twoKey(src, dst, true)
+}
+
+// twoKey is the shared Copy/Move implementation: ensure dst's parents, then
+// lock the up-to-four involved shards (src, src parent, dst, dst parent) in
+// index order and perform every mutation inside.
+func (s *MemStore) twoKey(src, dst string, remove bool) error {
+	src, dst = Clean(src), Clean(dst)
+	if src == "/" || dst == "/" {
+		return ErrIsDir
+	}
+	if src == dst {
+		e := s.getEntry(src)
+		switch {
+		case e == nil:
+			return ErrNotFound
+		case e.dir:
+			return ErrIsDir
+		}
+		return nil
+	}
+	srcParent, dstParent := path.Dir(src), path.Dir(dst)
+	srcName, dstName := path.Base(src), path.Base(dst)
+	for attempt := 0; attempt < 1000; attempt++ {
+		if err := s.ensureDir(dstParent); err != nil {
+			return err
+		}
+		unlock := s.lockAll(src, srcParent, dst, dstParent)
+		se := s.shardFor(src).entries[src]
+		if se == nil {
+			unlock()
 			return ErrNotFound
 		}
-		parent = next
+		if se.dir {
+			unlock()
+			return ErrIsDir
+		}
+		de := s.shardFor(dst).entries[dst]
+		if de != nil && de.dir {
+			unlock()
+			return ErrIsDir
+		}
+		dpe := s.shardFor(dstParent).entries[dstParent]
+		if dpe == nil || !dpe.dir {
+			unlock()
+			continue // destination parent vanished: re-ensure and retry
+		}
+		s.shardFor(dst).entries[dst] = &memEntry{
+			data: se.data, checksum: se.checksum, modTime: s.now(),
+		}
+		dpe.children[dstName] = true
+		if remove {
+			delete(s.shardFor(src).entries, src)
+			if spe := s.shardFor(srcParent).entries[srcParent]; spe != nil && spe.dir {
+				delete(spe.children, srcName)
+			}
+		}
+		unlock()
+		return nil
 	}
-	name := parts[len(parts)-1]
-	if _, ok := parent.children[name]; ok {
-		return ErrExists
-	}
-	parent.children[name] = &memEntry{dir: true, children: map[string]*memEntry{}, modTime: s.now()}
-	return nil
+	return fmt.Errorf("storage: copy %s -> %s: namespace churn did not settle", src, dst)
 }
 
 // DiskStore is a Store rooted at a filesystem directory.
@@ -392,4 +593,31 @@ func (s *DiskStore) Mkdir(p string) error {
 		return ErrExists
 	}
 	return mapFSErr(os.Mkdir(fp, 0o755))
+}
+
+// Copy implements Store by reading src and writing dst.
+func (s *DiskStore) Copy(src, dst string) error {
+	data, inf, err := s.Get(src)
+	if err != nil {
+		return err
+	}
+	_ = inf
+	return s.Put(dst, data)
+}
+
+// Move implements Store via rename, creating dst's parents.
+func (s *DiskStore) Move(src, dst string) error {
+	sp := s.fsPath(src)
+	st, err := os.Stat(sp)
+	if err != nil {
+		return mapFSErr(err)
+	}
+	if st.IsDir() {
+		return ErrIsDir
+	}
+	dp := s.fsPath(dst)
+	if err := os.MkdirAll(filepath.Dir(dp), 0o755); err != nil {
+		return err
+	}
+	return mapFSErr(os.Rename(sp, dp))
 }
