@@ -11,7 +11,7 @@
 //
 // Experiments: fig1, fig2, fig3, fig4, fig4async, gap, failover,
 // multistream, window, poolsize, prefetch, federation, cache, vecpar,
-// meta, xfer, resil, obs, zerocopy, server, all.
+// meta, xfer, resil, obs, zerocopy, server, chaos, all.
 //
 // With -json, every table produced by the run is also written to the given
 // file as a JSON array — CI uses this to track the performance trajectory
@@ -90,6 +90,7 @@ func main() {
 		{"obs", bench.Obs},
 		{"zerocopy", bench.Zerocopy},
 		{"server", bench.ServerLoad},
+		{"chaos", bench.Chaos},
 	}
 
 	ran := 0

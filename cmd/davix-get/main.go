@@ -12,6 +12,8 @@
 //	davix-get -mkdir http://host:8080/newdir
 //	davix-get -rm    http://host:8080/store/f
 //	davix-get -multistream -metalink-host fed:80 http://host:8080/big
+//	davix-get -o out.bin -resume http://host:8080/big  # pick up where an
+//	                                                   # interrupted run stopped
 //	davix-get -v http://host:8080/store/f          # live engine events on stderr
 package main
 
@@ -54,6 +56,22 @@ func verboseTrace(chunkBytes *atomic.Int64) *davix.ClientTrace {
 		TransferPath: func(dir davix.Direction, path string, bp davix.BytePath, bytes int64) {
 			fmt.Fprintf(os.Stderr, "davix-get: %d bytes (%s) moved via %s path\n", bytes, dir, bp)
 		},
+		HedgeIssued: func(path string, idx int, off, length int64, toHost string) {
+			fmt.Fprintf(os.Stderr, "davix-get: chunk %d slow, hedging %d bytes at %d against %s\n",
+				idx, length, off, toHost)
+		},
+		HedgeSettled: func(path string, idx int, hedgeWon bool, wasted int64) {
+			winner := "original"
+			if hedgeWon {
+				winner = "hedge"
+			}
+			fmt.Fprintf(os.Stderr, "davix-get: chunk %d hedge settled: %s won, %d bytes wasted\n",
+				idx, winner, wasted)
+		},
+		Resume: func(dir davix.Direction, path string, resumed int64, verified, failed int) {
+			fmt.Fprintf(os.Stderr, "davix-get: resume (%s): %d bytes intact across %d chunks, %d chunks failed re-verification\n",
+				dir, resumed, verified, failed)
+		},
 	}
 }
 
@@ -66,6 +84,11 @@ func printSummary(s davix.Snapshot) {
 		s.Engine.KernelBytesDown, s.Engine.PooledBytesDown,
 		s.Engine.KernelBytesUp, s.Engine.PooledBytesUp,
 		s.Engine.TransfersVerified, s.Engine.ChecksumMismatches)
+	if s.Engine.HedgesIssued > 0 || s.Engine.ResumedBytes > 0 || s.Engine.ResumeVerifyFailures > 0 {
+		fmt.Fprintf(os.Stderr, "davix-get: self-heal: %d hedges (%d won, %d bytes wasted), %d bytes resumed, %d resume re-verify failures\n",
+			s.Engine.HedgesIssued, s.Engine.HedgeWins, s.Engine.HedgeWastedBytes,
+			s.Engine.ResumedBytes, s.Engine.ResumeVerifyFailures)
+	}
 	fmt.Fprintf(os.Stderr, "davix-get: pool: %d dials, %d reuses, %d discards\n",
 		s.Pool.Dials, s.Pool.Reuses, s.Pool.Discards)
 	for _, q := range s.Expo().Quantiles {
@@ -88,6 +111,8 @@ func main() {
 	user := flag.String("user", "", "username for HTTP Basic auth (with -password)")
 	password := flag.String("password", "", "password for HTTP Basic auth")
 	verify := flag.Bool("verify", false, "verify checksums end to end (inline digests on streaming transfers)")
+	resume := flag.Bool("resume", false, "with -o or -put: checkpoint chunk completions to a sidecar and resume an interrupted transfer from it")
+	hedge := flag.Duration("hedge", 0, "hedged-read latency budget for multi-replica downloads (0 auto-derives from live P99, negative disables)")
 	s3Key := flag.String("s3-key", "", "AWS access key (SigV4 signing, with -s3-secret)")
 	s3Secret := flag.String("s3-secret", "", "AWS secret key")
 	s3Region := flag.String("s3-region", "us-east-1", "AWS region for SigV4 scope")
@@ -123,6 +148,8 @@ func main() {
 		Auth:            creds,
 		VerifyChecksums: *verify,
 		VerifyTransfers: *verify,
+		HedgeDelay:      *hedge,
+		Resume:          *resume,
 		S3:              s3creds,
 		Trace:           trace,
 	})
@@ -154,7 +181,14 @@ func main() {
 		if err != nil {
 			log.Fatalf("davix-get: %v", err)
 		}
-		if err := client.PutReader(ctx, url, f, st.Size()); err != nil {
+		if *resume {
+			// Checkpointed chunked upload: completions journal to a sidecar
+			// next to the source, so a rerun re-sends only what is missing.
+			err = client.UploadMultiStream(ctx, url, f, st.Size())
+		} else {
+			err = client.PutReader(ctx, url, f, st.Size())
+		}
+		if err != nil {
 			log.Fatalf("davix-get: put: %v", err)
 		}
 		f.Close()
@@ -214,7 +248,15 @@ func main() {
 			// their offsets without the object ever materializing in client
 			// memory, and with -verify off the kernel splice path moves the
 			// payload without a userspace copy (-v shows which path ran).
-			f, err := os.Create(*out)
+			// With -resume the existing bytes must survive the reopen —
+			// they are what the checkpoint journal re-verifies against.
+			var f *os.File
+			var err error
+			if *resume {
+				f, err = os.OpenFile(*out, os.O_RDWR|os.O_CREATE, 0o644)
+			} else {
+				f, err = os.Create(*out)
+			}
 			if err != nil {
 				log.Fatalf("davix-get: %v", err)
 			}

@@ -31,6 +31,12 @@
 //     backoff (Options.Retry), Metalink replica failover, and a per-host
 //     health scoreboard that demotes flapping nodes and re-probes them
 //     (Options.HealthThreshold) — all observable via Client.Metrics();
+//   - self-healing transfers: hedged chunk reads race a straggling
+//     replica against the next-ranked one under a live-P99-derived (or
+//     fixed) latency budget (Options.HedgeDelay), and checkpointed resume
+//     journals per-chunk digests to a sidecar so an interrupted transfer
+//     re-verifies and re-fetches only what is missing or corrupt
+//     (Options.Resume);
 //   - an observability plane: httptrace-style per-event hooks
 //     (Options.Trace), structured logging of every engine decision through
 //     log/slog (Options.Logger), a unified counter snapshot spanning
@@ -189,6 +195,23 @@ type Options struct {
 	// observe every byte in userspace, so it routes transfers onto the
 	// pooled-buffer path instead of the kernel sendfile/splice fast path.
 	VerifyTransfers bool
+	// HedgeDelay tunes hedged chunk reads for multi-replica downloads: a
+	// chunk read that outlives this latency budget is raced against a
+	// duplicate request to the next-ranked healthy replica; the first
+	// complete result wins and the loser is cancelled. Zero (the default)
+	// derives the budget from the engine's live chunk-read P99 once enough
+	// samples exist; positive fixes the budget; negative disables hedging.
+	// Snapshot reports HedgesIssued/HedgeWins/HedgeWastedBytes.
+	HedgeDelay time.Duration
+	// Resume enables checkpointed transfers: multi-stream downloads to (and
+	// uploads from) a local *os.File journal each completed chunk's offset,
+	// length and digest to a "<file>.davix-ck" sidecar. An interrupted
+	// transfer restarted with Resume still on re-verifies the journaled
+	// chunks against the bytes actually on disk and moves only what is
+	// missing or corrupt; the sidecar is removed on completion. The journal
+	// is never trusted without re-verification, so a torn journal write or
+	// an unflushed page can never yield a phantom-complete chunk.
+	Resume bool
 	// S3 signs every request with AWS Signature V4 (cloud-storage mode).
 	S3 *S3Credentials
 	// TLS, when non-nil, upgrades every pooled connection to TLS with this
@@ -290,6 +313,10 @@ type ChecksumError = core.ChecksumError
 // ErrFileClosed reports use of a File after Close.
 var ErrFileClosed = core.ErrFileClosed
 
+// CheckpointSuffix names the resume journal a checkpointed transfer keeps
+// next to its local file ("<file>" + CheckpointSuffix); see Options.Resume.
+const CheckpointSuffix = core.CheckpointSuffix
+
 // tcpDialer adapts net.Dialer to the pool.Dialer interface.
 type tcpDialer struct{ d net.Dialer }
 
@@ -334,6 +361,8 @@ func New(opts Options) (*Client, error) {
 		Auth:                opts.Auth,
 		VerifyChecksums:     opts.VerifyChecksums,
 		VerifyTransfers:     opts.VerifyTransfers,
+		HedgeDelay:          opts.HedgeDelay,
+		Resume:              opts.Resume,
 		S3:                  opts.S3,
 		TLS:                 opts.TLS,
 		CacheSize:           opts.CacheSize,

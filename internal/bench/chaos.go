@@ -1,0 +1,479 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"godavix/internal/core"
+	"godavix/internal/httpserv"
+	"godavix/internal/netsim"
+	"godavix/internal/obs"
+)
+
+// The chaos harness drives the self-healing transfer machinery (hedged
+// chunk reads, checkpointed resume) through seeded fault schedules on the
+// resil testbed and asserts its correctness invariants rather than just
+// timing it:
+//
+//   - zero corrupted bytes are ever committed, on any seed;
+//   - a resumed transfer moves exactly size - ResumedBytes fresh bytes —
+//     verified journal chunks are skipped, nothing else is;
+//   - hedging cuts the P99 of a fleet with one slow-but-healthy replica by
+//     at least 2x while duplicate traffic stays under 10% of the payload.
+//
+// Violations are returned as an error (failing CI), not table footnotes.
+const (
+	// chaosSlowDelay is the sick replica's per-request head-of-line delay
+	// in the hedging scenario: it answers perfectly, slowly — the exact
+	// failure mode the health scoreboard cannot see.
+	chaosSlowDelay = 40 * time.Millisecond
+	// chaosHedgeDelay is the fixed hedge budget raced against the delay.
+	// It must clear a healthy chunk's service time with margin (MaxStreams
+	// concurrent 128 KiB chunks take a few ms on the simulated LAN) or
+	// spurious hedges add duplicate load instead of cutting latency, while
+	// staying far enough under chaosSlowDelay that a hedged slow chunk is
+	// still a large win.
+	chaosHedgeDelay = 8 * time.Millisecond
+	chaosUpPath     = "/store/chaos-up.dat"
+)
+
+// chaosSeeds are the fault-schedule seeds. Every seed derives its own
+// fault inventory, interruption point and local-corruption offset, and
+// every seed must uphold every invariant.
+var chaosSeeds = []int64{17, 42, 99}
+
+// chunkRec is one successful ChunkDone observation.
+type chunkRec struct {
+	idx int
+	off int64
+	ln  int64
+}
+
+// chunkLog collects successful chunk completions from a ClientTrace; chunk
+// callbacks run concurrently, hence the lock.
+type chunkLog struct {
+	mu   sync.Mutex
+	recs []chunkRec
+}
+
+func (l *chunkLog) add(r chunkRec) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recs = append(l.recs, r)
+	return len(l.recs)
+}
+
+// total sums the observed chunk lengths; fanOnly excludes upload probe
+// events (idx 0), which are re-sent on every attempt and never journaled.
+func (l *chunkLog) total(fanOnly bool) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n int64
+	for _, r := range l.recs {
+		if fanOnly && r.idx == 0 {
+			continue
+		}
+		n += r.ln
+	}
+	return n
+}
+
+func (l *chunkLog) first() chunkRec {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recs[0]
+}
+
+// chaosTrace records successful completions of dir into log and, when
+// cancelAfter > 0, cancels the transfer as the Nth success completes —
+// the deterministic "pull the plug mid-transfer" switch.
+func chaosTrace(dir obs.Direction, log *chunkLog, cancelAfter int, cancel context.CancelFunc) *obs.ClientTrace {
+	return &obs.ClientTrace{
+		ChunkDone: func(d obs.Direction, path string, idx int, off, length int64, err error) {
+			if d != dir || err != nil {
+				return
+			}
+			n := log.add(chunkRec{idx: idx, off: off, ln: length})
+			if cancelAfter > 0 && n == cancelAfter {
+				cancel()
+			}
+		},
+	}
+}
+
+// chaosClientOpts is the self-healing client under test: multi-replica
+// downloads via the federation, retry budget, end-to-end verification,
+// checkpointed resume.
+func chaosClientOpts(n *netsim.Network, trace *obs.ClientTrace) core.Options {
+	return core.Options{
+		Dialer:          n,
+		MetalinkHost:    FedAddr,
+		ChunkSize:       resilChunk,
+		MaxStreams:      4,
+		RetryPolicy:     core.RetryPolicy{Attempts: 3},
+		VerifyTransfers: true,
+		Resume:          true,
+		Trace:           trace,
+	}
+}
+
+// chaosHedgeRun times repeated multi-stream downloads against a fleet
+// where one replica answers every request after a long fixed delay,
+// with hedging off (negative budget) versus a fixed budget well under the
+// delay. Returns the two wall-clock samples and the hedged client's
+// counters.
+func chaosHedgeRun(repeats int) (base, hedged *Sample, m core.Metrics, err error) {
+	blob := make([]byte, resilSize)
+	rand.New(rand.NewSource(71)).Read(blob)
+	n, srvs, closeBed, err := resilTestbed(netsim.LAN(), blob)
+	if err != nil {
+		return nil, nil, core.Metrics{}, err
+	}
+	defer closeBed()
+	// dpm2 is slow but correct: 200s all day, after chaosSlowDelay. No
+	// failures means no breaker trips — only a latency hedge routes
+	// around it.
+	srvs["dpm2:80"].SetFault(resilPath, httpserv.Fault{Delay: chaosSlowDelay})
+
+	run := func(budget time.Duration) (*Sample, core.Metrics, error) {
+		client, err := core.NewClient(core.Options{
+			Dialer:       n,
+			MetalinkHost: FedAddr,
+			ChunkSize:    resilChunk,
+			MaxStreams:   4,
+			RetryPolicy:  core.RetryPolicy{Attempts: 2},
+			HedgeDelay:   budget,
+		})
+		if err != nil {
+			return nil, core.Metrics{}, err
+		}
+		defer client.Close()
+		ctx := context.Background()
+		download := func() error {
+			got, err := client.DownloadMultiStream(ctx, "dpm1:80", resilPath)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, blob) {
+				return fmt.Errorf("bench: chaos hedge: downloaded bytes differ from source")
+			}
+			return nil
+		}
+		if err := download(); err != nil { // untimed warm-up pays the dials
+			return nil, core.Metrics{}, err
+		}
+		s := &Sample{}
+		for rep := 0; rep < repeats; rep++ {
+			timer := startTimer()
+			if err := download(); err != nil {
+				return nil, core.Metrics{}, err
+			}
+			s.AddDuration(timer())
+		}
+		return s, client.Metrics(), nil
+	}
+
+	if base, _, err = run(-1); err != nil {
+		return nil, nil, core.Metrics{}, err
+	}
+	if hedged, m, err = run(chaosHedgeDelay); err != nil {
+		return nil, nil, core.Metrics{}, err
+	}
+	return base, hedged, m, nil
+}
+
+// chaosDownloadCycle runs one seeded download / interrupt / corrupt /
+// resume cycle and returns the cycle's accounting plus any invariant
+// violations.
+func chaosDownloadCycle(seed int64) (detail string, violations []string, err error) {
+	blob := make([]byte, resilSize)
+	rand.New(rand.NewSource(seed)).Read(blob)
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	n, srvs, closeBed, err := resilTestbed(netsim.LAN(), blob)
+	if err != nil {
+		return "", nil, err
+	}
+	defer closeBed()
+
+	// Seeded fault inventory: a replica serving silently corrupted bytes
+	// (integrity headers still describe the pristine object), a 503 storm,
+	// and mid-body connection drops. Later picks may land on the same
+	// replica and replace an earlier fault — that variety is the point.
+	srvs[resilReplicas[rng.Intn(3)]].SetFault(resilPath, httpserv.Fault{
+		CorruptXOR: 0x5a, CorruptAt: rng.Int63n(resilSize), Remaining: 2 + rng.Intn(3)})
+	srvs[resilReplicas[rng.Intn(3)]].SetFault(resilPath, httpserv.Fault{
+		Status: 503, Remaining: 1 + rng.Intn(3)})
+	srvs[resilReplicas[rng.Intn(3)]].SetFault(resilPath, httpserv.Fault{
+		DropAfter: 1 + rng.Int63n(resilChunk), Remaining: 1 + rng.Intn(2)})
+
+	tmpf, err := os.CreateTemp("", "davix-chaos-*.dat")
+	if err != nil {
+		return "", nil, err
+	}
+	sidecar := tmpf.Name() + core.CheckpointSuffix
+	defer func() {
+		tmpf.Close()
+		os.Remove(tmpf.Name())
+		os.Remove(sidecar)
+	}()
+
+	// Phase 1: download until cancelAfter chunks have committed, then pull
+	// the plug from inside the chunk-completion callback.
+	cancelAfter := 3 + rng.Intn(5)
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	log1 := &chunkLog{}
+	client1, err := core.NewClient(chaosClientOpts(n, chaosTrace(obs.Down, log1, cancelAfter, cancel1)))
+	if err != nil {
+		return "", nil, err
+	}
+	_, derr := client1.DownloadMultiStreamTo(ctx1, "dpm1:80", resilPath, tmpf)
+	client1.Close()
+	if derr == nil {
+		violations = append(violations, fmt.Sprintf("seed %d: interrupted download reported success", seed))
+	}
+	if len(log1.recs) == 0 {
+		violations = append(violations, fmt.Sprintf("seed %d: no chunks committed before interruption", seed))
+		return "", violations, nil
+	}
+	if _, err := os.Stat(sidecar); err != nil {
+		violations = append(violations, fmt.Sprintf("seed %d: no checkpoint sidecar after interruption: %v", seed, err))
+		return "", violations, nil
+	}
+
+	// Corrupt one journaled chunk in the local partial file: resume must
+	// refuse to trust the journal entry and re-fetch exactly that chunk.
+	bad := log1.first()
+	flipAt := bad.off + bad.ln/2
+	b := make([]byte, 1)
+	if _, err := tmpf.ReadAt(b, flipAt); err != nil {
+		return "", nil, err
+	}
+	b[0] ^= 0xff
+	if _, err := tmpf.WriteAt(b, flipAt); err != nil {
+		return "", nil, err
+	}
+
+	// Phase 2: resume under a fresh 503 storm with a fresh client (cold
+	// metrics, cold health scoreboard — nothing carries over but the
+	// sidecar and the partial file).
+	srvs[resilReplicas[rng.Intn(3)]].SetFault(resilPath, httpserv.Fault{Status: 503, Remaining: 2})
+	log2 := &chunkLog{}
+	client2, err := core.NewClient(chaosClientOpts(n, chaosTrace(obs.Down, log2, 0, nil)))
+	if err != nil {
+		return "", nil, err
+	}
+	_, rerr := client2.DownloadMultiStreamTo(context.Background(), "dpm1:80", resilPath, tmpf)
+	m2 := client2.Metrics()
+	client2.Close()
+	if rerr != nil {
+		violations = append(violations, fmt.Sprintf("seed %d: resume failed: %v", seed, rerr))
+		return "", violations, nil
+	}
+
+	got := make([]byte, resilSize)
+	if _, err := tmpf.ReadAt(got, 0); err != nil {
+		return "", nil, err
+	}
+	if !bytes.Equal(got, blob) {
+		violations = append(violations, fmt.Sprintf("seed %d: corrupted bytes committed to the resumed download", seed))
+	}
+	// Every phase-1 committed chunk except the one corrupted locally must
+	// be resumed from the journal, and the re-fetched bytes must cover
+	// exactly the rest of the object.
+	wantResumed := log1.total(false) - bad.ln
+	if m2.ResumedBytes != wantResumed {
+		violations = append(violations, fmt.Sprintf("seed %d: ResumedBytes = %d, want %d", seed, m2.ResumedBytes, wantResumed))
+	}
+	if m2.ResumeVerifyFailures != 1 {
+		violations = append(violations, fmt.Sprintf("seed %d: ResumeVerifyFailures = %d, want 1", seed, m2.ResumeVerifyFailures))
+	}
+	if refetched := log2.total(false); refetched != resilSize-m2.ResumedBytes {
+		violations = append(violations, fmt.Sprintf("seed %d: re-fetched %d bytes, want %d", seed, refetched, resilSize-m2.ResumedBytes))
+	}
+	if _, err := os.Stat(sidecar); !os.IsNotExist(err) {
+		violations = append(violations, fmt.Sprintf("seed %d: sidecar survived a completed download", seed))
+	}
+	detail = fmt.Sprintf("interrupted after %d chunks, resumed %d B, re-fetched %d B, %d journal entry re-verified bad",
+		len(log1.recs), m2.ResumedBytes, log2.total(false), m2.ResumeVerifyFailures)
+	return detail, violations, nil
+}
+
+// chaosUploadCycle runs one seeded upload / interrupt / resume cycle.
+func chaosUploadCycle(seed int64) (detail string, violations []string, err error) {
+	blob := make([]byte, resilSize)
+	rand.New(rand.NewSource(seed + 7)).Read(blob)
+	rng := rand.New(rand.NewSource(seed ^ 0x0b5e))
+	n, srvs, closeBed, err := resilTestbed(netsim.LAN(), blob)
+	if err != nil {
+		return "", nil, err
+	}
+	defer closeBed()
+
+	srcf, err := os.CreateTemp("", "davix-chaos-src-*.dat")
+	if err != nil {
+		return "", nil, err
+	}
+	sidecar := srcf.Name() + core.CheckpointSuffix
+	defer func() {
+		srcf.Close()
+		os.Remove(srcf.Name())
+		os.Remove(sidecar)
+	}()
+	if _, err := srcf.Write(blob); err != nil {
+		return "", nil, err
+	}
+
+	// Phase 1: upload until cancelAfter fan-out chunks are acknowledged,
+	// then pull the plug.
+	cancelAfter := 3 + rng.Intn(3)
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	log1 := &chunkLog{}
+	client1, err := core.NewClient(chaosClientOpts(n, chaosTrace(obs.Up, log1, cancelAfter, cancel1)))
+	if err != nil {
+		return "", nil, err
+	}
+	uerr := client1.UploadMultiStream(ctx1, "dpm1:80", chaosUpPath, srcf, resilSize)
+	client1.Close()
+	if uerr == nil {
+		violations = append(violations, fmt.Sprintf("seed %d: interrupted upload reported success", seed))
+	}
+	if _, err := os.Stat(sidecar); err != nil {
+		violations = append(violations, fmt.Sprintf("seed %d: no upload sidecar after interruption: %v", seed, err))
+		return "", violations, nil
+	}
+
+	// Phase 2: resume under a 503 storm on the destination.
+	srvs["dpm1:80"].SetFault(chaosUpPath, httpserv.Fault{Status: 503, Remaining: 2})
+	log2 := &chunkLog{}
+	client2, err := core.NewClient(chaosClientOpts(n, chaosTrace(obs.Up, log2, 0, nil)))
+	if err != nil {
+		return "", nil, err
+	}
+	rerr := client2.UploadMultiStream(context.Background(), "dpm1:80", chaosUpPath, srcf, resilSize)
+	m2 := client2.Metrics()
+	client2.Close()
+	if rerr != nil {
+		violations = append(violations, fmt.Sprintf("seed %d: upload resume failed: %v", seed, rerr))
+		return "", violations, nil
+	}
+
+	// The journal must account for every phase-1 acknowledged fan-out
+	// chunk (the probe is always re-sent), and the re-sent bytes must
+	// cover exactly the rest.
+	wantResumed := log1.total(true)
+	if m2.ResumedBytes != wantResumed {
+		violations = append(violations, fmt.Sprintf("seed %d: upload ResumedBytes = %d, want %d", seed, m2.ResumedBytes, wantResumed))
+	}
+	if resent := log2.total(false); resent != resilSize-m2.ResumedBytes {
+		violations = append(violations, fmt.Sprintf("seed %d: re-sent %d bytes, want %d", seed, resent, resilSize-m2.ResumedBytes))
+	}
+	if _, err := os.Stat(sidecar); !os.IsNotExist(err) {
+		violations = append(violations, fmt.Sprintf("seed %d: upload sidecar survived completion", seed))
+	}
+
+	// What landed must be the source, byte for byte — checked through a
+	// plain client (no federation, no resume) against the destination.
+	plain, err := core.NewClient(core.Options{Dialer: n})
+	if err != nil {
+		return "", nil, err
+	}
+	got, gerr := plain.Get(context.Background(), "dpm1:80", chaosUpPath)
+	plain.Close()
+	if gerr != nil {
+		return "", nil, gerr
+	}
+	if !bytes.Equal(got, blob) {
+		violations = append(violations, fmt.Sprintf("seed %d: uploaded object differs from source", seed))
+	}
+	detail = fmt.Sprintf("interrupted after %d chunks, resumed %d B, re-sent %d B",
+		len(log1.recs), m2.ResumedBytes, log2.total(false))
+	return detail, violations, nil
+}
+
+// Chaos is the deterministic fault harness for the self-healing transfer
+// machinery. Unlike the timing experiments it enforces contracts: any
+// violated invariant fails the run with an error instead of producing a
+// worse-looking row.
+func Chaos(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	table := &Table{
+		Title:   "Chaos: hedged reads and checkpointed resume under injected faults",
+		Columns: []string{"scenario", "outcome", "detail"},
+	}
+	var violations []string
+
+	reps := opts.Repeats * 2
+	if reps < 10 {
+		reps = 10
+	}
+	base, hedged, m, err := chaosHedgeRun(reps)
+	if err != nil {
+		return nil, err
+	}
+	baseP99, hedgedP99 := base.Quantile(0.99), hedged.Quantile(0.99)
+	ratio := baseP99 / hedgedP99
+	if ratio < 2 {
+		violations = append(violations, fmt.Sprintf(
+			"hedging cut slow-replica P99 only %.2fx (%.1fms -> %.1fms), want >= 2x",
+			ratio, baseP99*1e3, hedgedP99*1e3))
+	}
+	if m.HedgesIssued == 0 || m.HedgeWins == 0 {
+		violations = append(violations, fmt.Sprintf(
+			"hedging never engaged: issued=%d wins=%d", m.HedgesIssued, m.HedgeWins))
+	}
+	payload := int64(reps+1) * resilSize // timed repeats plus warm-up
+	if m.HedgeWastedBytes > payload/10 {
+		violations = append(violations, fmt.Sprintf(
+			"hedge duplicate traffic %d B exceeds 10%% of the %d B payload", m.HedgeWastedBytes, payload))
+	}
+	table.AddRow("hedged reads, one slow replica",
+		fmt.Sprintf("P99 %.1fms -> %.1fms (%.1fx)", baseP99*1e3, hedgedP99*1e3, ratio),
+		fmt.Sprintf("hedges=%d wins=%d wasted=%dB (%.2f%% of payload)",
+			m.HedgesIssued, m.HedgeWins, m.HedgeWastedBytes,
+			100*float64(m.HedgeWastedBytes)/float64(payload)))
+
+	for _, seed := range chaosSeeds {
+		detail, v, err := chaosDownloadCycle(seed)
+		if err != nil {
+			return nil, err
+		}
+		violations = append(violations, v...)
+		outcome := "ok"
+		if len(v) > 0 {
+			outcome = "VIOLATION"
+			detail = strings.Join(v, "; ")
+		}
+		table.AddRow(fmt.Sprintf("download interrupt+resume, seed %d", seed), outcome, detail)
+	}
+	for _, seed := range chaosSeeds {
+		detail, v, err := chaosUploadCycle(seed)
+		if err != nil {
+			return nil, err
+		}
+		violations = append(violations, v...)
+		outcome := "ok"
+		if len(v) > 0 {
+			outcome = "VIOLATION"
+			detail = strings.Join(v, "; ")
+		}
+		table.AddRow(fmt.Sprintf("upload interrupt+resume, seed %d", seed), outcome, detail)
+	}
+
+	table.Notes = []string{
+		fmt.Sprintf("seeds %v drive the fault schedule: corrupt-replica bytes, 503 storms, mid-body drops, and the interruption point", chaosSeeds),
+		"invariants: no corrupted commit on any seed; resumed + re-transferred bytes == object size; a locally corrupted journal chunk is re-verified and re-fetched",
+		fmt.Sprintf("hedging scenario: one replica answers after %v, hedge budget %v; contract is >= 2x P99 cut at <= 10%% duplicate traffic", chaosSlowDelay, chaosHedgeDelay),
+	}
+	if len(violations) > 0 {
+		return nil, fmt.Errorf("bench: chaos invariants violated:\n  %s", strings.Join(violations, "\n  "))
+	}
+	return table, nil
+}

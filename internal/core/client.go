@@ -166,6 +166,24 @@ type Options struct {
 	// via Snapshot counters when this is off).
 	VerifyTransfers bool
 
+	// HedgeDelay tunes hedged chunk reads for multi-replica downloads:
+	// when a chunk read outlives this latency budget, the engine races a
+	// duplicate request against the next-ranked healthy replica; the first
+	// complete result wins and the loser is cancelled. Zero (the default)
+	// derives the budget from the engine's live per-op P99 once enough
+	// chunk samples exist; a positive value fixes the budget; a negative
+	// value disables hedging. Hedging never engages with a single replica.
+	HedgeDelay time.Duration
+
+	// Resume enables checkpointed transfers: DownloadMultiStreamTo and
+	// UploadMultiStream journal each completed chunk (offset, length,
+	// digest) to a sidecar file next to the local *os.File, and an
+	// interrupted transfer restarted with the same geometry re-verifies
+	// the journaled chunks against their recorded digests, re-fetching
+	// only what is missing or no longer matches. The sidecar is removed
+	// when the transfer completes (or when nothing was journaled).
+	Resume bool
+
 	// TLS, when non-nil, upgrades every pooled connection to a TLS client
 	// session with this configuration. A ClientSessionCache shared across
 	// all pool shards is installed when the config does not bring its own,
@@ -512,7 +530,23 @@ func (c *Client) doOnce(ctx context.Context, host string, req *wire.Request, aut
 	}
 	reused := conn.Uses() > 1
 	c.trace.EmitConnAcquired(host, reused)
+	// Cancellation must reach a round trip blocked writing the request or
+	// awaiting response headers: connection I/O only honours deadlines, so
+	// a cancelled ctx (a settled hedge race, an abandoned transfer) would
+	// otherwise pin this goroutine until the server answers. The slammed
+	// deadline poisons the connection, so every path below that saw the
+	// hook fire discards it rather than recycling it.
+	stop := context.AfterFunc(ctx, func() {
+		conn.NetConn().SetDeadline(time.Unix(1, 0))
+	})
 	resp, err := c.roundTrip(ctx, conn, req, authHost)
+	if !stop() {
+		// The hook fired: ctx is done, so ctx.Err() is non-nil. Report the
+		// cancellation itself, not the i/o timeout the slammed deadline
+		// manufactured — callers classify context errors specially (they
+		// must propagate, never trigger failover).
+		err = ctx.Err()
+	}
 	if err != nil {
 		c.pool.Discard(conn)
 		return nil, reused, err

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"godavix/internal/httpserv"
+	"godavix/internal/metalink"
+)
+
+// hedgeEnv wires three replicas behind a metalink federation and stores blob
+// at /f on each, returning the ready-to-use test environment.
+func hedgeEnv(t *testing.T, copts Options, blob []byte) *testEnv {
+	t.Helper()
+	e := newEnv(t, copts)
+	replicas := []string{"dpm1:80", "dpm2:80", "dpm3:80"}
+	var urls []metalink.URL
+	for i, r := range replicas {
+		e.startServer(t, r, httpserv.Options{})
+		e.stores[r].Put("/f", blob)
+		urls = append(urls, metalink.URL{Loc: "http://" + r + "/f", Priority: i + 1})
+	}
+	ml := &metalink.Metalink{Name: "f", Size: int64(len(blob)), URLs: urls}
+	e.startServer(t, "fed:80", httpserv.Options{
+		Metalinks: func(string) *metalink.Metalink { return ml },
+	})
+	return e
+}
+
+func TestHedgeStandbySelection(t *testing.T) {
+	ring := []Replica{
+		{Host: "a:80", Path: "/1"},
+		{Host: "a:80", Path: "/2"}, // alternate path on the primary's host
+		{Host: "b:80", Path: "/3"},
+	}
+	standby, ok := hedgeStandby(ring, 0)
+	if !ok || standby.Host != "b:80" {
+		t.Fatalf("standby = %+v ok=%v, want b:80 (same-host replicas skipped)", standby, ok)
+	}
+	// Ring of one host: nothing worth racing.
+	if _, ok := hedgeStandby(ring[:2], 0); ok {
+		t.Fatal("single-host ring must not offer a standby")
+	}
+}
+
+func TestHedgeBudgetModes(t *testing.T) {
+	c := newEnv(t, Options{HedgeDelay: -1}).client
+	if _, ok := c.hedgeBudget(); ok {
+		t.Fatal("negative HedgeDelay must disable hedging")
+	}
+
+	c2 := newEnv(t, Options{HedgeDelay: 25 * time.Millisecond}).client
+	if d, ok := c2.hedgeBudget(); !ok || d != 25*time.Millisecond {
+		t.Fatalf("fixed budget = %v ok=%v, want 25ms", d, ok)
+	}
+
+	// Auto mode: disabled on a cold histogram, live P99 once it holds
+	// hedgeMinSamples observations.
+	c3 := newEnv(t, Options{}).client
+	if _, ok := c3.hedgeBudget(); ok {
+		t.Fatal("auto budget must stay off until the chunk histogram warms up")
+	}
+	for i := 0; i < hedgeMinSamples; i++ {
+		c3.metrics.observe(specChunk.op, 2*time.Millisecond)
+	}
+	d, ok := c3.hedgeBudget()
+	if !ok || d <= 0 {
+		t.Fatalf("auto budget = %v ok=%v, want live P99 > 0", d, ok)
+	}
+}
+
+func TestHedgedReadBeatsSlowReplica(t *testing.T) {
+	blob := make([]byte, 64<<10)
+	rand.New(rand.NewSource(41)).Read(blob)
+	e := hedgeEnv(t, Options{
+		MetalinkHost: "fed:80",
+		ChunkSize:    8 << 10,
+		MaxStreams:   4,
+		HedgeDelay:   10 * time.Millisecond,
+	}, blob)
+	// dpm2 answers, slowly — the failure mode the health scoreboard cannot
+	// see. Chunks whose ring primary is dpm2 blow the 10ms budget and race a
+	// duplicate against another host.
+	e.srvs["dpm2:80"].SetFault("/f", httpserv.Fault{Delay: 150 * time.Millisecond, Remaining: -1})
+
+	got, err := e.client.DownloadMultiStream(context.Background(), "dpm1:80", "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatal("hedged download corrupted content")
+	}
+	m := e.client.Metrics()
+	if m.HedgesIssued == 0 || m.HedgeWins == 0 {
+		t.Fatalf("hedges issued=%d wins=%d, want both > 0", m.HedgesIssued, m.HedgeWins)
+	}
+}
+
+func TestHedgeDisabledIssuesNone(t *testing.T) {
+	blob := make([]byte, 32<<10)
+	rand.New(rand.NewSource(43)).Read(blob)
+	e := hedgeEnv(t, Options{
+		MetalinkHost: "fed:80",
+		ChunkSize:    8 << 10,
+		MaxStreams:   4,
+		HedgeDelay:   -1,
+	}, blob)
+	e.srvs["dpm2:80"].SetFault("/f", httpserv.Fault{Delay: 30 * time.Millisecond, Remaining: -1})
+
+	got, err := e.client.DownloadMultiStream(context.Background(), "dpm1:80", "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatal("content mismatch")
+	}
+	if m := e.client.Metrics(); m.HedgesIssued != 0 {
+		t.Fatalf("hedges issued = %d with hedging disabled", m.HedgesIssued)
+	}
+}

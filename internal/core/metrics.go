@@ -61,6 +61,20 @@ type Metrics struct {
 	// did not (each of those also failed with ErrChecksumMismatch).
 	TransfersVerified  int64
 	ChecksumMismatches int64
+	// HedgesIssued counts chunk reads that outlived their latency budget
+	// and got a duplicate request raced against a standby replica;
+	// HedgeWins counts the races the standby won; HedgeWastedBytes counts
+	// payload bytes the losing side had already delivered when it was
+	// cancelled — the duplicate-traffic cost of hedging.
+	HedgesIssued     int64
+	HedgeWins        int64
+	HedgeWastedBytes int64
+	// ResumedBytes counts bytes a checkpointed transfer proved intact
+	// against their journaled digests and skipped re-transferring;
+	// ResumeVerifyFailures counts journaled chunks whose digest no longer
+	// matched on resume (those chunks were re-fetched, never trusted).
+	ResumedBytes         int64
+	ResumeVerifyFailures int64
 	// Ops maps an operation label ("GET", "PUT(range)", "PROPFIND", ...)
 	// to its latency distribution as experienced by the caller: one entry
 	// per engine execution, retries and failover included.
@@ -134,6 +148,8 @@ type metrics struct {
 	kernelBytesUp, kernelBytesDown                        atomic.Int64
 	pooledBytesUp, pooledBytesDown                        atomic.Int64
 	transfersVerified, checksumMismatches                 atomic.Int64
+	hedgesIssued, hedgeWins, hedgeWastedBytes             atomic.Int64
+	resumedBytes, resumeVerifyFailures                    atomic.Int64
 	ops                                                   sync.Map // string -> *opHist
 }
 
@@ -154,20 +170,25 @@ func (m *metrics) observe(op string, d time.Duration) {
 // snapshot renders the public view.
 func (m *metrics) snapshot() Metrics {
 	s := Metrics{
-		Requests:           m.requests.Load(),
-		Retries:            m.retries.Load(),
-		Redirects:          m.redirects.Load(),
-		Failovers:          m.failovers.Load(),
-		BreakerTrips:       m.breakerTrips.Load(),
-		BytesUp:            m.bytesUp.Load(),
-		BytesDown:          m.bytesDown.Load(),
-		KernelBytesUp:      m.kernelBytesUp.Load(),
-		KernelBytesDown:    m.kernelBytesDown.Load(),
-		PooledBytesUp:      m.pooledBytesUp.Load(),
-		PooledBytesDown:    m.pooledBytesDown.Load(),
-		TransfersVerified:  m.transfersVerified.Load(),
-		ChecksumMismatches: m.checksumMismatches.Load(),
-		Ops:                map[string]OpStats{},
+		Requests:             m.requests.Load(),
+		Retries:              m.retries.Load(),
+		Redirects:            m.redirects.Load(),
+		Failovers:            m.failovers.Load(),
+		BreakerTrips:         m.breakerTrips.Load(),
+		BytesUp:              m.bytesUp.Load(),
+		BytesDown:            m.bytesDown.Load(),
+		KernelBytesUp:        m.kernelBytesUp.Load(),
+		KernelBytesDown:      m.kernelBytesDown.Load(),
+		PooledBytesUp:        m.pooledBytesUp.Load(),
+		PooledBytesDown:      m.pooledBytesDown.Load(),
+		TransfersVerified:    m.transfersVerified.Load(),
+		ChecksumMismatches:   m.checksumMismatches.Load(),
+		HedgesIssued:         m.hedgesIssued.Load(),
+		HedgeWins:            m.hedgeWins.Load(),
+		HedgeWastedBytes:     m.hedgeWastedBytes.Load(),
+		ResumedBytes:         m.resumedBytes.Load(),
+		ResumeVerifyFailures: m.resumeVerifyFailures.Load(),
+		Ops:                  map[string]OpStats{},
 	}
 	m.ops.Range(func(k, v any) bool {
 		h := v.(*opHist)

@@ -12,6 +12,7 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"time"
 
 	"godavix/internal/bufpool"
 	"godavix/internal/digest"
@@ -31,6 +32,17 @@ func (c *Client) readChunkReplicas(ctx context.Context, replicas []Replica, idx 
 	path := replicas[0].Path
 	c.trace.EmitChunkStart(obs.Down, path, idx, off, int64(len(dst)))
 	defer func() { c.trace.EmitChunkDone(obs.Down, path, idx, off, int64(len(dst)), err) }()
+	if len(replicas) > 1 {
+		if budget, ok := c.hedgeBudget(); ok {
+			// The caller's chunk slice doubles as the primary leg's WriterAt;
+			// the standby leg stays in its private buffer until it wins.
+			ring := c.health.order(replicas)
+			w := &chunkBuf{base: off, buf: dst}
+			if _, handled, herr := c.scatterChunkHedged(ctx, ring, idx, off, int64(len(dst)), w, "", digest.Adler32, false, false, budget); handled {
+				return herr
+			}
+		}
+	}
 	return c.walkReplicaRing(ctx, replicas, idx, func(rep Replica) (bool, error) {
 		n, err := c.getRangeInto(ctx, rep.Host, rep.Path, off, dst)
 		if err == nil && n == len(dst) {
@@ -123,6 +135,17 @@ func (c *Client) scatterChunkReplicas(ctx context.Context, replicas []Replica, i
 	path := replicas[0].Path
 	c.trace.EmitChunkStart(obs.Down, path, idx, off, ln)
 	defer func() { c.trace.EmitChunkDone(obs.Down, path, idx, off, ln, err) }()
+	if len(replicas) > 1 {
+		if budget, ok := c.hedgeBudget(); ok {
+			ring := c.health.order(replicas)
+			if r, handled, herr := c.scatterChunkHedged(ctx, ring, idx, off, ln, dst, fastName, algo, sum, perChunk, budget); handled {
+				return r, herr
+			}
+			// Not settled by the race (no distinct standby host, or both
+			// legs failed transiently): the serial walk below still owns
+			// the chunk.
+		}
+	}
 	err = c.walkReplicaRing(ctx, replicas, idx, func(rep Replica) (bool, error) {
 		r, err := c.getRangeScatter(ctx, rep.Host, rep.Path, path, off, ln, dst, fastName, algo, sum, perChunk)
 		if err == nil && r.n == ln {
@@ -164,10 +187,12 @@ func (c *Client) getRangeScatter(ctx context.Context, host, path, objPath string
 		default:
 			return statusErr(resp, "GET", path)
 		}
-		return c.scatterBody(resp, skip, off, ln, dst, fastName, objPath, algo, sum, &res)
+		return c.scatterBody(ctx, resp, skip, off, ln, dst, fastName, objPath, algo, sum, &res)
 	})
 	if err != nil {
-		return scatterResult{}, err
+		// res may still carry the partial byte count of the failed last
+		// attempt — a cancelled hedge leg reports its wasted bytes this way.
+		return scatterResult{n: res.n}, err
 	}
 	return res, nil
 }
@@ -186,10 +211,18 @@ func (c *Client) getRangeScatter(ctx context.Context, host, path, objPath string
 //
 // Either way the chunk is never materialized and res reports exactly which
 // bytes moved how (Snapshot counters + TransferPath trace event).
-func (c *Client) scatterBody(resp *Response, skip, off, ln int64, dst io.WriterAt, fastName, objPath, algo string, sum bool, res *scatterResult) error {
+//
+// Connection I/O is deadline-bounded, not ctx-bounded, so a cancelled
+// sibling (first-error fan-out cancel, a hedged race's loser) would
+// otherwise block until the request deadline: armAbort makes ctx
+// cancellation slam the connection deadline so a blocked body read returns
+// promptly. The slammed connection is poisoned and must be discarded, so
+// every exit closes the response through closeResp.
+func (c *Client) scatterBody(ctx context.Context, resp *Response, skip, off, ln int64, dst io.WriterAt, fastName, objPath, algo string, sum bool, res *scatterResult) error {
+	closeResp := armAbort(ctx, resp)
 	if skip > 0 {
 		if _, err := io.CopyN(io.Discard, resp.Body, skip); err != nil {
-			resp.Close()
+			closeResp()
 			if err == io.EOF {
 				return &StatusError{Code: 416, Status: "416 Requested Range Not Satisfiable", Method: "GET", Path: objPath}
 			}
@@ -220,7 +253,7 @@ func (c *Client) scatterBody(resp *Response, skip, off, ln int64, dst io.WriterA
 			cc.addPendDown(direct)
 			c.recordBytePath(obs.Down, objPath, obs.PathKernel, direct)
 			c.recordBytePath(obs.Down, objPath, obs.PathPooled, n-direct)
-			cerr := resp.Close()
+			cerr := closeResp()
 			if err == nil {
 				err = cerr
 			}
@@ -242,7 +275,7 @@ func (c *Client) scatterBody(resp *Response, skip, off, ln int64, dst io.WriterA
 		n, rerr := resp.Body.Read(b)
 		if n > 0 {
 			if _, werr := dst.WriteAt(b[:n], pos); werr != nil {
-				resp.Close()
+				closeResp()
 				return werr
 			}
 			if h != nil {
@@ -259,8 +292,9 @@ func (c *Client) scatterBody(resp *Response, skip, off, ln int64, dst io.WriterA
 		}
 	}
 	served := pos - off
+	res.n = served
 	c.recordBytePath(obs.Down, objPath, obs.PathPooled, served)
-	cerr := resp.Close()
+	cerr := closeResp()
 	if err == nil {
 		err = cerr
 	}
@@ -272,7 +306,6 @@ func (c *Client) scatterBody(resp *Response, skip, off, ln int64, dst io.WriterA
 		// range-honouring server would have sent.
 		return &StatusError{Code: 416, Status: "416 Requested Range Not Satisfiable", Method: "GET", Path: objPath}
 	}
-	res.n = served
 	if h != nil {
 		sum := h.Sum(nil)
 		res.sum = binary.BigEndian.Uint32(sum)
@@ -293,6 +326,32 @@ func (c *Client) scatterBody(resp *Response, skip, off, ln int64, dst io.WriterA
 		}
 	}
 	return nil
+}
+
+// armAbort couples ctx cancellation to resp's connection: pool I/O is
+// deadline-bounded, not ctx-bounded, so without this a reader blocked in
+// resp.Body.Read would survive cancellation until the request deadline.
+// When ctx is cancelled the hook slams the connection deadline into the
+// past, failing the blocked read immediately. The returned closeResp must
+// replace every resp.Close() on the caller's paths: it disarms the hook
+// first and, when the hook already fired (or may be firing), marks the
+// response non-keep-alive so the poisoned connection is discarded instead
+// of recycled.
+func armAbort(ctx context.Context, resp *Response) (closeResp func() error) {
+	stop := context.AfterFunc(ctx, func() {
+		resp.conn.NetConn().SetDeadline(time.Unix(1, 0))
+	})
+	closed := false
+	return func() error {
+		if closed {
+			return nil
+		}
+		closed = true
+		if !stop() {
+			resp.KeepAlive = false
+		}
+		return resp.Close()
+	}
 }
 
 // chunkSum remembers one streamed chunk's client-side digest so a
@@ -458,13 +517,31 @@ func (c *Client) DownloadMultiStreamTo(ctx context.Context, host, path string, w
 		rollup, _ = digest.NewRollup(algo)
 	}
 
+	// Checkpointed resume: journal completed chunks to the sidecar and skip
+	// the chunks a previous interrupted run already proved intact on disk.
+	// Journaling needs per-chunk digests, so it forces the tee on (and the
+	// kernel splice path off) even when verification is otherwise disabled.
+	ck, skip := c.downloadCheckpoint(w, path, size, algo, want)
+	sumChunks := verify || ck != nil
+
 	// The kernel fast path needs a real file target and no digest tee.
 	fastName := ""
-	if f, ok := w.(*os.File); ok && !verify && !c.opts.LegacyChunkBuffers {
+	if f, ok := w.(*os.File); ok && !verify && ck == nil && !c.opts.LegacyChunkBuffers {
 		fastName = f.Name()
 	}
 
 	err := c.forEachChunk(ctx, 0, size, c.opts.MaxStreams, func(cctx context.Context, idx int, off, ln int64) error {
+		if sum, ok := skip[off]; ok {
+			// Proven intact against its journaled digest — already on disk.
+			if rollup != nil {
+				rollupMu.Lock()
+				rollup.Add(off, ln, sum)
+				sums = append(sums, chunkSum{off, ln, sum})
+				nChunks++
+				rollupMu.Unlock()
+			}
+			return nil
+		}
 		if c.opts.LegacyChunkBuffers {
 			buf := bufpool.Get(int(ln))
 			defer bufpool.Put(buf)
@@ -475,19 +552,27 @@ func (c *Client) DownloadMultiStreamTo(ctx context.Context, host, path string, w
 				return err
 			}
 			c.recordBytePath(obs.Down, path, obs.PathPooled, ln)
-			if rollup != nil {
+			if rollup != nil || ck != nil {
 				sum := digest.Sum32(algo, buf)
-				rollupMu.Lock()
-				rollup.Add(off, ln, sum)
-				sums = append(sums, chunkSum{off, ln, sum})
-				nChunks++
-				rollupMu.Unlock()
+				if ck != nil {
+					ck.append(off, ln, sum)
+				}
+				if rollup != nil {
+					rollupMu.Lock()
+					rollup.Add(off, ln, sum)
+					sums = append(sums, chunkSum{off, ln, sum})
+					nChunks++
+					rollupMu.Unlock()
+				}
 			}
 			return nil
 		}
-		res, err := c.scatterChunkReplicas(cctx, replicas, idx, off, ln, w, fastName, algo, verify, perChunk)
+		res, err := c.scatterChunkReplicas(cctx, replicas, idx, off, ln, w, fastName, algo, sumChunks, perChunk)
 		if err != nil {
 			return err
+		}
+		if ck != nil && res.summed {
+			ck.append(off, ln, res.sum)
 		}
 		if rollup != nil && res.summed {
 			rollupMu.Lock()
@@ -502,15 +587,26 @@ func (c *Client) DownloadMultiStreamTo(ctx context.Context, host, path string, w
 		return nil
 	})
 	if err != nil {
+		if ck != nil {
+			ck.close(true)
+		}
 		return 0, err
 	}
 	if rollup != nil && haveWant {
 		got, rerr := rollup.Sum(size)
 		if rerr != nil {
+			if ck != nil {
+				ck.close(true)
+			}
 			return 0, rerr
 		}
 		if got != wantSum {
 			c.metrics.checksumMismatches.Add(1)
+			if ck != nil {
+				// The journal vouched for bytes the rollup just condemned —
+				// none of it can be believed; the next attempt starts clean.
+				ck.close(false)
+			}
 			// Narrow the blame to a chunk when a server will commit to
 			// per-range digests — HEAD probes only, no payload re-reads.
 			if ce := c.localizeMismatch(ctx, replicas, path, algo, sums); ce != nil {
@@ -527,6 +623,9 @@ func (c *Client) DownloadMultiStreamTo(ctx context.Context, host, path string, w
 		// No combinable server checksum, but every chunk matched the
 		// server's per-range Digest — the transfer is end-to-end verified.
 		c.metrics.transfersVerified.Add(1)
+	}
+	if ck != nil {
+		ck.close(false) // complete: the sidecar has served its purpose
 	}
 	return size, nil
 }
@@ -583,7 +682,8 @@ func (c *Client) CopyStream(ctx context.Context, srcHost, srcPath, destURL strin
 			return c.readChunkReplicas(cctx, replicas, idx, off, buf)
 		},
 		func() error { return c.copyStreamPipe(ctx, replicas, dHost, dPath, size) },
-		func() string { return want })
+		func() string { return want },
+		nil)
 }
 
 // copyStreamPipe pulls the source sequentially, chunk by pooled chunk,

@@ -367,7 +367,8 @@ func (c *Client) UploadMultiStream(ctx context.Context, host, path string, src i
 	return c.multiStreamPut(ctx, host, path, size, par,
 		readChunk,
 		func() error { return c.putSerial(ctx, host, path, src, size) },
-		func() string { return sourceAdler32(src, size) })
+		func() string { return sourceAdler32(src, size) },
+		src)
 }
 
 // multiStreamPut drives the shared orchestration of every chunked upload
@@ -378,14 +379,33 @@ func (c *Client) UploadMultiStream(ctx context.Context, host, path string, src i
 // and — unless some chunk answered 201 Created — verifyCommitted checks
 // the object actually assembled (wantChecksum supplies the expected
 // content checksum, lazily).
+//
+// resumeSrc, when a plain file and Options.Resume is on, enables the
+// checkpoint journal: completed chunks are journaled, an interrupted
+// upload resumed later re-verifies them against the current source bytes
+// and re-sends only the rest under the journaled upload id, and a resume
+// whose server-side partial assembly has meanwhile been reaped detects the
+// phantom (no commit signal) and re-uploads from scratch once.
 func (c *Client) multiStreamPut(ctx context.Context, host, path string, size int64, par int,
 	readChunk func(ctx context.Context, idx int, off int64, buf []byte) error,
 	fallback func() error,
-	wantChecksum func() string) error {
+	wantChecksum func() string,
+	resumeSrc io.ReaderAt) error {
 
 	uploadID := newUploadID()
 	probeLen := min(uploadProbeLen, c.opts.ChunkSize, size)
 	var created atomic.Bool
+
+	var ck *checkpoint
+	var skip map[int64]uint32
+	if resumeSrc != nil {
+		ck, skip, uploadID = c.uploadCheckpoint(resumeSrc, host, path, size, probeLen, uploadID)
+	}
+	closeCk := func(keep bool) {
+		if ck != nil {
+			ck.close(keep)
+		}
+	}
 
 	// Inline integrity: with VerifyTransfers every chunk buffer — already
 	// in hand for the PUT — is digested before it ships, and the per-chunk
@@ -422,6 +442,7 @@ func (c *Client) multiStreamPut(ctx context.Context, host, path string, size int
 	buf := bufpool.Get(int(probeLen))
 	if err := readChunk(ctx, 0, 0, buf); err != nil {
 		bufpool.Put(buf)
+		closeCk(true)
 		return err
 	}
 	addSum(0, buf)
@@ -431,8 +452,12 @@ func (c *Client) multiStreamPut(ctx context.Context, host, path string, size int
 	bufpool.Put(buf)
 	if err != nil {
 		if rangedPutUnsupported(err) {
+			// The serial fallback does not journal and commits in one
+			// request — an old journal would only mislead a later resume.
+			closeCk(false)
 			return fallback()
 		}
+		closeCk(true)
 		return err
 	}
 	c.recordBytePath(obs.Up, path, obs.PathPooled, probeLen)
@@ -441,6 +466,16 @@ func (c *Client) multiStreamPut(ctx context.Context, host, path string, size int
 	}
 
 	err = c.forEachChunk(ctx, probeLen, size, par, func(cctx context.Context, idx int, off, ln int64) error {
+		if sum, ok := skip[off]; ok {
+			// The journal proved the server already received these source
+			// bytes under the resumed upload id.
+			if rollup != nil {
+				rollupMu.Lock()
+				rollup.Add(off, ln, sum)
+				rollupMu.Unlock()
+			}
+			return nil
+		}
 		buf := bufpool.Get(int(ln))
 		defer bufpool.Put(buf)
 		if err := readChunk(cctx, idx, off, buf); err != nil {
@@ -454,6 +489,9 @@ func (c *Client) multiStreamPut(ctx context.Context, host, path string, size int
 		if err != nil {
 			return err
 		}
+		if ck != nil {
+			ck.append(off, ln, digest.Sum32(digest.Adler32, buf))
+		}
 		c.recordBytePath(obs.Up, path, obs.PathPooled, ln)
 		if res.created {
 			created.Store(true)
@@ -461,21 +499,37 @@ func (c *Client) multiStreamPut(ctx context.Context, host, path string, size int
 		return nil
 	})
 	if err != nil {
+		closeCk(true)
 		return err
 	}
 	if rollup != nil {
 		wantChecksum = rollupChecksum
 	}
 	if !created.Load() {
-		return c.verifyCommitted(ctx, host, path, size, wantChecksum)
+		err := c.verifyCommitted(ctx, host, path, size, wantChecksum)
+		if err != nil && errors.Is(err, errUploadNotCommitted) && len(skip) > 0 {
+			// The server-side partial assembly the journal pointed at is
+			// gone (TTL sweep, restart): self-heal with one clean
+			// journal-free re-upload instead of surfacing the phantom.
+			closeCk(false)
+			return c.multiStreamPut(ctx, host, path, size, par, readChunk, fallback, wantChecksum, nil)
+		}
+		closeCk(err != nil)
+		return err
 	}
 	checksum := ""
 	if rollup != nil {
 		checksum = rollupChecksum()
 	}
 	c.primeAfterWrite(host, path, size, "", checksum)
+	closeCk(false)
 	return nil
 }
+
+// errUploadNotCommitted marks a chunked upload whose final object never
+// assembled on the server — the resume path uses it to tell a reaped
+// partial assembly from a transport failure.
+var errUploadNotCommitted = errors.New("davix: upload not committed")
 
 // sourceAdler32 renders the WLCG-style checksum of the upload source, for
 // commit verification ("" when the source cannot be re-read).
@@ -503,7 +557,7 @@ func (c *Client) verifyCommitted(ctx context.Context, host, path string, size in
 		return fmt.Errorf("davix: upload verification: %w", err)
 	}
 	if inf.Size != size {
-		return fmt.Errorf("davix: upload not committed: server reports %d bytes, want %d", inf.Size, size)
+		return fmt.Errorf("%w: server reports %d bytes, want %d", errUploadNotCommitted, inf.Size, size)
 	}
 	if inf.Checksum != "" && wantChecksum != nil {
 		if want := wantChecksum(); want != "" && sameAlgo(want, inf.Checksum) {
@@ -511,7 +565,7 @@ func (c *Client) verifyCommitted(ctx context.Context, host, path string, size in
 				c.metrics.checksumMismatches.Add(1)
 				algo, wantHex, _ := strings.Cut(want, ":")
 				_, gotHex, _ := strings.Cut(inf.Checksum, ":")
-				return fmt.Errorf("davix: upload not committed: %w", &ChecksumError{
+				return fmt.Errorf("%w: %w", errUploadNotCommitted, &ChecksumError{
 					Path: path, Algo: strings.ToLower(algo), Off: 0, Length: size,
 					Got: strings.ToLower(gotHex), Want: strings.ToLower(wantHex),
 				})

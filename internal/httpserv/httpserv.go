@@ -1027,31 +1027,34 @@ func (s *Server) serveMkcol(w http.ResponseWriter, p string) {
 	w.WriteHeader(http.StatusCreated)
 }
 
+// servePropfind streams the 207 multistatus body entry by entry: the
+// listing is fetched before headers go out (so store errors still map to
+// proper statuses), but the XML is generated incrementally rather than
+// materialized — the response size no longer scales server memory with the
+// collection size, mirroring the client's streaming multistatus decoder.
 func (s *Server) servePropfind(w http.ResponseWriter, r *http.Request, p string) {
 	inf, err := s.store.Stat(p)
 	if err != nil {
 		writeStoreErr(w, err)
 		return
 	}
-	entries := []webdav.Entry{{Href: inf.Path, Size: inf.Size, Dir: inf.Dir, ModTime: inf.ModTime}}
+	var children []storage.Info
 	if inf.Dir && r.Header.Get("Depth") != "0" {
-		children, err := s.store.List(p)
-		if err != nil {
+		if children, err = s.store.List(p); err != nil {
 			writeStoreErr(w, err)
 			return
 		}
-		for _, c := range children {
-			entries = append(entries, webdav.Entry{Href: c.Path, Size: c.Size, Dir: c.Dir, ModTime: c.ModTime})
-		}
-	}
-	body, err := webdav.EncodeMultistatus(entries)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
 	}
 	w.Header().Set("Content-Type", webdav.ContentType)
 	w.WriteHeader(http.StatusMultiStatus)
-	w.Write(body)
+	mw := webdav.NewMultistatusWriter(w)
+	mw.WriteEntry(webdav.Entry{Href: inf.Path, Size: inf.Size, Dir: inf.Dir, ModTime: inf.ModTime})
+	for _, c := range children {
+		if mw.WriteEntry(webdav.Entry{Href: c.Path, Size: c.Size, Dir: c.Dir, ModTime: c.ModTime}) != nil {
+			return // client gone; nothing useful left to send
+		}
+	}
+	mw.Close()
 }
 
 // serveTruncated declares the full object length but sends only n bytes

@@ -68,5 +68,18 @@ func SlogTrace(l *slog.Logger) *ClientTrace {
 			l.Debug("davix byte path", "dir", string(dir), "path", path,
 				"via", string(bp), "bytes", bytes)
 		},
+		HedgeIssued: func(path string, idx int, off, length int64, toHost string) {
+			l.Warn("davix hedge issued", "path", path, "idx", idx,
+				"off", off, "len", length, "to", toHost)
+		},
+		HedgeSettled: func(path string, idx int, hedgeWon bool, wasted int64) {
+			l.Debug("davix hedge settled", "path", path, "idx", idx,
+				"hedge_won", hedgeWon, "wasted", wasted)
+		},
+		Resume: func(dir Direction, path string, resumed int64, verified, failed int) {
+			l.Info("davix resume", "dir", string(dir), "path", path,
+				"resumed_bytes", resumed, "verified_chunks", verified,
+				"failed_chunks", failed)
+		},
 	}
 }

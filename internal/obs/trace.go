@@ -103,6 +103,24 @@ type ClientTrace struct {
 	// both — e.g. a kernel-ineligible chunk falling back while its siblings
 	// splice.
 	TransferPath func(dir Direction, path string, bp BytePath, bytes int64)
+
+	// HedgeIssued fires when a chunk read outlives its latency budget and
+	// the engine launches a duplicate request for [off, off+length) of path
+	// against standby host toHost, racing the straggler.
+	HedgeIssued func(path string, idx int, off, length int64, toHost string)
+
+	// HedgeSettled fires when a hedged chunk race resolves. hedgeWon
+	// reports whether the standby beat the original request; wasted counts
+	// payload bytes the losing side had already delivered when it was
+	// cancelled (the duplicate-traffic cost of the hedge).
+	HedgeSettled func(path string, idx int, hedgeWon bool, wasted int64)
+
+	// Resume fires once per transfer that picked up a checkpoint journal,
+	// after the journaled chunks were re-verified against their recorded
+	// digests: resumed counts bytes proven intact and skipped, verified the
+	// journal records accepted, and failed the records whose digest no
+	// longer matched (those chunks are re-fetched).
+	Resume func(dir Direction, path string, resumed int64, verified, failed int)
 }
 
 // The emit methods below are the engine-facing surface: all are safe on a
@@ -212,6 +230,30 @@ func (t *ClientTrace) EmitTransferPath(dir Direction, path string, bp BytePath, 
 	t.TransferPath(dir, path, bp, bytes)
 }
 
+// EmitHedgeIssued invokes HedgeIssued if installed.
+func (t *ClientTrace) EmitHedgeIssued(path string, idx int, off, length int64, toHost string) {
+	if t == nil || t.HedgeIssued == nil {
+		return
+	}
+	t.HedgeIssued(path, idx, off, length, toHost)
+}
+
+// EmitHedgeSettled invokes HedgeSettled if installed.
+func (t *ClientTrace) EmitHedgeSettled(path string, idx int, hedgeWon bool, wasted int64) {
+	if t == nil || t.HedgeSettled == nil {
+		return
+	}
+	t.HedgeSettled(path, idx, hedgeWon, wasted)
+}
+
+// EmitResume invokes Resume if installed.
+func (t *ClientTrace) EmitResume(dir Direction, path string, resumed int64, verified, failed int) {
+	if t == nil || t.Resume == nil {
+		return
+	}
+	t.Resume(dir, path, resumed, verified, failed)
+}
+
 // Merge composes two traces: every event fires a's hook, then b's. A nil
 // argument contributes nothing; merging with one nil returns the other
 // unchanged (no wrapper cost).
@@ -274,6 +316,18 @@ func Merge(a, b *ClientTrace) *ClientTrace {
 		TransferPath: func(dir Direction, path string, bp BytePath, bytes int64) {
 			a.EmitTransferPath(dir, path, bp, bytes)
 			b.EmitTransferPath(dir, path, bp, bytes)
+		},
+		HedgeIssued: func(path string, idx int, off, length int64, toHost string) {
+			a.EmitHedgeIssued(path, idx, off, length, toHost)
+			b.EmitHedgeIssued(path, idx, off, length, toHost)
+		},
+		HedgeSettled: func(path string, idx int, hedgeWon bool, wasted int64) {
+			a.EmitHedgeSettled(path, idx, hedgeWon, wasted)
+			b.EmitHedgeSettled(path, idx, hedgeWon, wasted)
+		},
+		Resume: func(dir Direction, path string, resumed int64, verified, failed int) {
+			a.EmitResume(dir, path, resumed, verified, failed)
+			b.EmitResume(dir, path, resumed, verified, failed)
 		},
 	}
 }

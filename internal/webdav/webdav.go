@@ -89,6 +89,93 @@ func EncodeMultistatus(entries []Entry) ([]byte, error) {
 	return append([]byte(xml.Header), out...), nil
 }
 
+// MultistatusWriter streams a multistatus document entry by entry — the
+// generation-side mirror of DecodeMultistatusStream. Where
+// EncodeMultistatus materializes the whole 207 body (O(entries) memory, a
+// problem for a collection listing millions of objects), this writer emits
+// each <response> as it is produced and never holds more than one entry.
+// The document shape is byte-identical to EncodeMultistatus's output, so
+// every existing decoder accepts it unchanged.
+//
+// Usage: NewMultistatusWriter, WriteEntry per resource, then Close (which
+// emits the document frame even when no entries were written). Errors
+// stick: after a write failure every later call reports the same error.
+type MultistatusWriter struct {
+	w       *bufio.Writer
+	started bool
+	closed  bool
+	err     error
+}
+
+// NewMultistatusWriter returns a writer streaming a multistatus document
+// to w.
+func NewMultistatusWriter(w io.Writer) *MultistatusWriter {
+	return &MultistatusWriter{w: bufio.NewWriter(w)}
+}
+
+// start emits the document header and root element opening.
+func (mw *MultistatusWriter) start() {
+	mw.w.WriteString(xml.Header)
+	mw.w.WriteString(`<multistatus xmlns="DAV:">`)
+	mw.started = true
+}
+
+// WriteEntry emits one <response> element for e.
+func (mw *MultistatusWriter) WriteEntry(e Entry) error {
+	if mw.err != nil {
+		return mw.err
+	}
+	if mw.closed {
+		mw.err = fmt.Errorf("webdav: WriteEntry after Close")
+		return mw.err
+	}
+	if !mw.started {
+		mw.start()
+	}
+	w := mw.w
+	w.WriteString("\n <response>\n  <href>")
+	xml.EscapeText(w, []byte(e.Href))
+	w.WriteString("</href>\n  <propstat>\n   <prop>")
+	if !e.Dir {
+		w.WriteString("\n    <getcontentlength>")
+		w.WriteString(strconv.FormatInt(e.Size, 10))
+		w.WriteString("</getcontentlength>")
+	}
+	// Always emitted, empty for a zero time — exactly what the marshaled
+	// (non-omitempty) struct field produces.
+	w.WriteString("\n    <getlastmodified>")
+	if !e.ModTime.IsZero() {
+		xml.EscapeText(w, []byte(e.ModTime.UTC().Format(TimeLayout)))
+	}
+	w.WriteString("</getlastmodified>")
+	if e.Dir {
+		w.WriteString("\n    <resourcetype>\n     <collection></collection>\n    </resourcetype>")
+	}
+	w.WriteString("\n   </prop>\n   <status>HTTP/1.1 200 OK</status>\n  </propstat>\n </response>")
+	mw.err = w.Flush()
+	return mw.err
+}
+
+// Close terminates the document and flushes. An entry-less document closes
+// to the same compact frame EncodeMultistatus produces for no entries.
+func (mw *MultistatusWriter) Close() error {
+	if mw.err != nil {
+		return mw.err
+	}
+	if mw.closed {
+		return nil
+	}
+	mw.closed = true
+	if !mw.started {
+		mw.start()
+		mw.w.WriteString("</multistatus>")
+	} else {
+		mw.w.WriteString("\n</multistatus>")
+	}
+	mw.err = mw.w.Flush()
+	return mw.err
+}
+
 // Element local names the multistatus schema cares about, as byte slices
 // so the token loop compares without allocating.
 var (

@@ -222,6 +222,102 @@ func TestStreamDecodeEmptyDoc(t *testing.T) {
 	}
 }
 
+// TestMultistatusWriterMatchesEncode asserts the streaming encoder emits
+// byte-identical documents to the materializing EncodeMultistatus across
+// entry shapes: files, collections, zero mod times, and hrefs needing
+// escaping.
+func TestMultistatusWriterMatchesEncode(t *testing.T) {
+	now := time.Now().UTC().Truncate(time.Second)
+	for name, in := range map[string][]Entry{
+		"empty": nil,
+		"mixed": {
+			{Href: "/store", Dir: true, ModTime: now},
+			{Href: "/store/f.rnt", Size: 700 << 20, ModTime: now},
+			{Href: "/store/empty", Size: 0},
+			{Href: "/store/sub", Dir: true},
+		},
+		"escaped": {
+			{Href: `/store/a&b <c> "d" 'e'`, Size: 9, ModTime: now},
+		},
+		"single-dir": {
+			{Href: "/top", Dir: true},
+		},
+	} {
+		want, err := EncodeMultistatus(in)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var buf bytes.Buffer
+		mw := NewMultistatusWriter(&buf)
+		for _, e := range in {
+			if err := mw.WriteEntry(e); err != nil {
+				t.Fatalf("%s: WriteEntry: %v", name, err)
+			}
+		}
+		if err := mw.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", name, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("%s: streamed document differs from EncodeMultistatus\nstreamed:\n%s\nwant:\n%s",
+				name, buf.Bytes(), want)
+		}
+	}
+}
+
+// TestMultistatusWriterDecodes round-trips a streamed document through both
+// decoders.
+func TestMultistatusWriterDecodes(t *testing.T) {
+	now := time.Now().UTC().Truncate(time.Second)
+	in := []Entry{
+		{Href: "/store", Dir: true, ModTime: now},
+		{Href: `/store/a&b`, Size: 42, ModTime: now},
+	}
+	var buf bytes.Buffer
+	mw := NewMultistatusWriter(&buf)
+	for _, e := range in {
+		if err := mw.WriteEntry(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for name, dec := range map[string]func() ([]Entry, error){
+		"legacy": func() ([]Entry, error) { return DecodeMultistatus(buf.Bytes()) },
+		"stream": func() ([]Entry, error) { return DecodeMultistatusStream(bytes.NewReader(buf.Bytes())) },
+	} {
+		got, err := dec()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(in) {
+			t.Fatalf("%s: %d entries, want %d", name, len(got), len(in))
+		}
+		for i := range in {
+			if got[i].Href != in[i].Href || got[i].Size != in[i].Size ||
+				got[i].Dir != in[i].Dir || !got[i].ModTime.Equal(in[i].ModTime) {
+				t.Fatalf("%s: entry %d = %+v, want %+v", name, i, got[i], in[i])
+			}
+		}
+	}
+}
+
+// TestMultistatusWriterMisuse: writing after Close is an error, Close is
+// idempotent.
+func TestMultistatusWriterMisuse(t *testing.T) {
+	var buf bytes.Buffer
+	mw := NewMultistatusWriter(&buf)
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := mw.WriteEntry(Entry{Href: "/x"}); err == nil {
+		t.Fatal("WriteEntry after Close succeeded")
+	}
+}
+
 func TestDecodeGarbage(t *testing.T) {
 	if _, err := DecodeMultistatus([]byte("<<<<")); err == nil {
 		t.Fatal("expected xml error")
