@@ -11,7 +11,12 @@
 //
 // Experiments: fig1, fig2, fig3, fig4, fig4async, gap, failover,
 // multistream, window, poolsize, prefetch, federation, cache, vecpar,
-// meta, xfer, resil, obs, zerocopy, server, chaos, all.
+// meta, xfer, resil, obs, zerocopy, server, chaos, analysis, all.
+//
+// The analysis experiment compares the cold-cache event loop across HTTP
+// prefetch configurations (none, naive read-ahead, learned sync, learned
+// async pipelined) against the xrootd async baseline; -prefetch-depth sets
+// how many windows the pipelined configuration keeps in flight.
 //
 // With -json, every table produced by the run is also written to the given
 // file as a JSON array — CI uses this to track the performance trajectory
@@ -41,6 +46,7 @@ func main() {
 	window := flag.Uint64("window", 3000, "TreeCache window in events")
 	fractionsArg := flag.String("fractions", "1.0", "comma-separated event fractions for fig4")
 	clients := flag.Int("clients", 128, "admission limit / client count for the server load scenario")
+	prefetchDepth := flag.Int("prefetch-depth", 3, "window pipeline depth for the analysis experiment's learned-async configuration")
 	flag.Parse()
 
 	var fractions []float64
@@ -60,9 +66,10 @@ func main() {
 			MeanPayload: *meanPayload,
 			Seed:        1,
 		},
-		Window:    *window,
-		Fractions: fractions,
-		Clients:   *clients,
+		Window:        *window,
+		Fractions:     fractions,
+		Clients:       *clients,
+		PrefetchDepth: *prefetchDepth,
 	}
 
 	type exp struct {
@@ -91,6 +98,7 @@ func main() {
 		{"zerocopy", bench.Zerocopy},
 		{"server", bench.ServerLoad},
 		{"chaos", bench.Chaos},
+		{"analysis", bench.Analysis},
 	}
 
 	ran := 0

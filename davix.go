@@ -230,6 +230,17 @@ type Options struct {
 	// ReadAhead asynchronously prefetches this many blocks ahead of a
 	// detected sequential scan (0 disables; needs CacheSize > 0).
 	ReadAhead int
+	// PrefetchDepth enables learned prefetch: > 0 swaps the cache's
+	// sequential read-ahead for a stride/sparse planner keeping that many
+	// predicted reads in flight, accepts layout hints from readers
+	// (File.PrefetchHint), and sizes the asynchronous window pipeline
+	// rootio's TreeCache runs over File.ReadVecAsyncCtx. 0 keeps the
+	// historical behaviour exactly.
+	PrefetchDepth int
+	// PrefetchBudget caps the speculative bytes in flight at once so
+	// speculation never starves demand reads (0 = 16 MiB when
+	// PrefetchDepth > 0, unlimited otherwise; negative = unlimited).
+	PrefetchBudget int64
 	// StatTTL caches Stat/Open metadata — 404s included, as negative
 	// entries — for this duration (0 disables).
 	StatTTL time.Duration
@@ -368,6 +379,8 @@ func New(opts Options) (*Client, error) {
 		CacheSize:           opts.CacheSize,
 		BlockSize:           opts.BlockSize,
 		ReadAhead:           opts.ReadAhead,
+		PrefetchDepth:       opts.PrefetchDepth,
+		PrefetchBudget:      opts.PrefetchBudget,
 		StatTTL:             opts.StatTTL,
 		Trace:               opts.Trace,
 		Logger:              opts.Logger,

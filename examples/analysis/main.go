@@ -4,6 +4,13 @@
 // style analysis (full event scan through a TreeCache) runs over each
 // transport and the execution times are compared — Figure 4, live.
 //
+// This example keeps the HTTP path synchronous (one blocking multi-range
+// request per window) to reproduce the paper's published gap. The HTTP
+// path is no longer limited to that: with davix.Options.PrefetchDepth (and
+// bench.HTTPSourcePipelined) the TreeCache pipelines upcoming windows as
+// cancellable background vectored reads — `davix-bench -experiment
+// analysis` measures that configuration against the xrootd baseline.
+//
 // Run with: go run ./examples/analysis
 package main
 

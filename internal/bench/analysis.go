@@ -25,6 +25,23 @@ type AnalysisResult struct {
 // steps). See the calibration note inside RunAnalysis.
 const eventComputeSteps = 80000
 
+// spinFold is the per-event physics kernel: fold every payload byte once,
+// then a fixed FNV reconstruction spin of the given step count. Shared by
+// RunAnalysis (compute-bound calibration) and the learned-prefetch
+// analysis experiment (transfer-bound calibration).
+func spinFold(payloads [][]byte, steps int) uint64 {
+	var h uint64 = 14695981039346656037 // FNV offset basis
+	for _, p := range payloads {
+		for _, b := range p {
+			h = (h ^ uint64(b)) * 1099511628211
+		}
+	}
+	for i := 0; i < steps; i++ {
+		h = (h ^ uint64(i)) * 1099511628211
+	}
+	return h
+}
+
 // RunAnalysis executes the paper's §3 workload against a data source: open
 // the event file, then iterate a fraction of the events through a
 // TreeCache, doing a fixed amount of per-event computation (payload
@@ -57,16 +74,7 @@ func RunAnalysis(src rootio.Source, fraction float64, window uint64, branches []
 		// the way a real ROOT selection does — the paper's LAN runs are
 		// compute-bound (~97 s jobs against ~6 s of transfer), which is
 		// why HTTP and XRootD tie on low-latency links.
-		var h uint64 = 14695981039346656037 // FNV offset basis
-		for _, p := range payloads {
-			for _, b := range p {
-				h = (h ^ uint64(b)) * 1099511628211
-			}
-		}
-		for i := 0; i < eventComputeSteps; i++ {
-			h = (h ^ uint64(i)) * 1099511628211
-		}
-		sum += h
+		sum += spinFold(payloads, eventComputeSteps)
 	}
 	return AnalysisResult{
 		Duration: time.Since(start),

@@ -7,6 +7,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"godavix/internal/core"
 	"godavix/internal/httpserv"
@@ -106,6 +107,37 @@ func HTTPSourceAsync(f *core.File) rootio.Source {
 		return ch
 	}
 	return src
+}
+
+// HTTPSourcePipelined exposes the davix File's cancellable asynchronous
+// vectored read and its learned read-ahead hint to rootio, letting the
+// TreeCache keep the next windows' transfers in flight under the current
+// window's decode/compute — the overlap the xrootd baseline gets from
+// kXR_readv, now on the HTTP path.
+func HTTPSourcePipelined(f *core.File) rootio.Source {
+	src := HTTPSource(f)
+	src.ReadVecAsyncCtx = f.ReadVecAsyncCtx
+	src.Hint = f.PrefetchHint
+	return src
+}
+
+// HTTPSourceReadAt adapts a davix File to rootio through plain ReadAt
+// calls: every range becomes a separate read through the client's block
+// cache, so the cache's sequential read-ahead — not the vectored path —
+// serves the workload. This is the "naive read-ahead" baseline of the
+// analysis experiment.
+func HTTPSourceReadAt(f *core.File) rootio.Source {
+	return rootio.Source{
+		Size: f.Size(),
+		ReadVec: func(ranges []rangev.Range, dsts [][]byte) error {
+			for i, r := range ranges {
+				if _, err := f.ReadAt(dsts[i][:r.Len], r.Off); err != nil && err != io.EOF {
+					return err
+				}
+			}
+			return nil
+		},
+	}
 }
 
 // XrdSource adapts an xrootd File to a rootio Source, exposing both the

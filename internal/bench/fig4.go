@@ -28,6 +28,9 @@ type Options struct {
 	// clients and the overload regime twice as many plus the misbehaving
 	// cohorts (default 128; CI uses fewer).
 	Clients int
+	// PrefetchDepth is the window-pipeline depth of the analysis
+	// experiment's learned-async configuration (default 3).
+	PrefetchDepth int
 }
 
 func (o Options) withDefaults() Options {
@@ -45,6 +48,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Clients == 0 {
 		o.Clients = 128
+	}
+	if o.PrefetchDepth <= 0 {
+		o.PrefetchDepth = 3
 	}
 	return o
 }

@@ -61,6 +61,24 @@ type Config struct {
 	// OnMiss, when non-nil, is invoked when a demand read needs blocks
 	// that are not resident. Same calling rules as OnHit.
 	OnMiss func(key string, blocks int64)
+	// Planner, when non-nil, replaces the built-in sequential read-ahead
+	// planner. When nil and ReadAhead > 0, a SeqPlanner with exactly the
+	// historical next-N behaviour is installed.
+	Planner PrefetchPlanner
+	// FetchVec, when non-nil, lets non-default planners batch multi-block
+	// prefetch plans into one vectored request instead of per-block GETs.
+	FetchVec FetchVec
+	// PrefetchBudget bounds the speculative bytes in flight at once; when
+	// the budget is full further speculation is dropped (demand reads are
+	// never throttled). 0 means unlimited — the historical behaviour.
+	PrefetchBudget int64
+	// OnPrefetchIssued, when non-nil, is invoked when speculation puts a
+	// fetch on the wire (spans per request, total bytes). Must not block.
+	OnPrefetchIssued func(key string, spans int, bytes int64)
+	// OnPrefetchSettled, when non-nil, is invoked when a speculative
+	// fetch completes, with the requested bytes and its error (nil on
+	// success). Must not block.
+	OnPrefetchSettled func(key string, bytes int64, err error)
 }
 
 // Stats are the cache's monotonic counters. Block counters count blocks,
@@ -85,6 +103,16 @@ type Stats struct {
 	// StatHits / StatMisses count metadata-cache lookups (including
 	// negative 404 hits).
 	StatHits, StatMisses int64
+	// PrefetchIssuedSpans / PrefetchIssuedBytes count the speculative
+	// fetch requests put on the wire and the bytes they asked for.
+	PrefetchIssuedSpans, PrefetchIssuedBytes int64
+	// PrefetchUsefulBytes counts prefetched bytes a demand read later
+	// consumed; PrefetchWastedBytes counts prefetched bytes evicted or
+	// invalidated untouched. Their ratio is the speculation accuracy.
+	PrefetchUsefulBytes, PrefetchWastedBytes int64
+	// PrefetchCancelled counts speculative fetches dropped before issue —
+	// budget exhaustion, mainly.
+	PrefetchCancelled int64
 }
 
 // blockKey addresses one cache page: a caller-chosen object key (davix uses
@@ -97,6 +125,9 @@ type blockKey struct {
 type block struct {
 	bk   blockKey
 	data []byte
+	// spec marks a speculatively fetched block no demand read has touched
+	// yet: consumed -> useful bytes, evicted/invalidated -> wasted bytes.
+	spec bool
 }
 
 // flight is one in-progress block fetch; concurrent readers of the same
@@ -108,40 +139,38 @@ type flight struct {
 	gen  uint64
 }
 
-// seqState tracks the access pattern of one key for read-ahead detection.
-type seqState struct {
-	// next is the block index a forward-sequential reader would touch next.
-	next int64
-	// streak counts consecutive forward-sequential reads.
-	streak int
-	// limit, when >= 0, is the first block index known to lie past the end
-	// of the object (learned from a short block or a failed prefetch);
-	// read-ahead never goes there.
-	limit int64
-}
-
 // Cache is a block-aligned LRU page cache with single-flight miss
-// coalescing and asynchronous read-ahead. It is safe for concurrent use.
+// coalescing and asynchronous planner-driven read-ahead. It is safe for
+// concurrent use.
 type Cache struct {
-	cap    int64
-	bs     int64
-	ra     int
-	bg     context.Context
-	onHit  func(key string, blocks int64)
-	onMiss func(key string, blocks int64)
+	cap      int64
+	bs       int64
+	bg       context.Context
+	onHit    func(key string, blocks int64)
+	onMiss   func(key string, blocks int64)
+	planner  PrefetchPlanner
+	fetchVec FetchVec
+	budget   int64
+
+	onPfIssued  func(key string, spans int, bytes int64)
+	onPfSettled func(key string, bytes int64, err error)
 
 	mu       sync.Mutex
 	lru      *list.List // of *block; front = most recently used
 	blocks   map[blockKey]*list.Element
 	used     int64
 	inflight map[blockKey]*flight
+	// pfInFlight is the speculative byte volume currently reserved
+	// against the budget. Guarded by mu.
+	pfInFlight int64
 	// gen is a cache-wide generation counter bumped by every Invalidate;
 	// fetches and PutSpan callers snapshot it before touching the network
 	// so a racing invalidation fences their (possibly stale) result out.
 	gen uint64
-	seq map[string]*seqState
 
 	hits, misses, evictions, prefetched, joins atomic.Int64
+
+	pfIssuedSpans, pfIssuedBytes, pfUseful, pfWasted, pfCancelled atomic.Int64
 }
 
 // New creates a Cache. Capacity must be positive; BlockSize defaults to
@@ -153,17 +182,24 @@ func New(cfg Config) *Cache {
 	if cfg.Background == nil {
 		cfg.Background = context.Background()
 	}
+	planner := cfg.Planner
+	if planner == nil && cfg.ReadAhead > 0 {
+		planner = NewSeqPlanner(cfg.ReadAhead)
+	}
 	return &Cache{
-		cap:      cfg.Capacity,
-		bs:       cfg.BlockSize,
-		ra:       cfg.ReadAhead,
-		bg:       cfg.Background,
-		onHit:    cfg.OnHit,
-		onMiss:   cfg.OnMiss,
-		lru:      list.New(),
-		blocks:   make(map[blockKey]*list.Element),
-		inflight: make(map[blockKey]*flight),
-		seq:      make(map[string]*seqState),
+		cap:         cfg.Capacity,
+		bs:          cfg.BlockSize,
+		bg:          cfg.Background,
+		onHit:       cfg.OnHit,
+		onMiss:      cfg.OnMiss,
+		planner:     planner,
+		fetchVec:    cfg.FetchVec,
+		budget:      cfg.PrefetchBudget,
+		onPfIssued:  cfg.OnPrefetchIssued,
+		onPfSettled: cfg.OnPrefetchSettled,
+		lru:         list.New(),
+		blocks:      make(map[blockKey]*list.Element),
+		inflight:    make(map[blockKey]*flight),
 	}
 }
 
@@ -176,12 +212,17 @@ func (c *Cache) Stats() Stats {
 	bytes := c.used
 	c.mu.Unlock()
 	return Stats{
-		Hits:              c.hits.Load(),
-		Misses:            c.misses.Load(),
-		Evictions:         c.evictions.Load(),
-		Prefetched:        c.prefetched.Load(),
-		SingleFlightJoins: c.joins.Load(),
-		BytesCached:       bytes,
+		Hits:                c.hits.Load(),
+		Misses:              c.misses.Load(),
+		Evictions:           c.evictions.Load(),
+		Prefetched:          c.prefetched.Load(),
+		SingleFlightJoins:   c.joins.Load(),
+		BytesCached:         bytes,
+		PrefetchIssuedSpans: c.pfIssuedSpans.Load(),
+		PrefetchIssuedBytes: c.pfIssuedBytes.Load(),
+		PrefetchUsefulBytes: c.pfUseful.Load(),
+		PrefetchWastedBytes: c.pfWasted.Load(),
+		PrefetchCancelled:   c.pfCancelled.Load(),
 	}
 }
 
@@ -256,7 +297,12 @@ func (c *Cache) getBlock(ctx context.Context, key string, idx, blockLen int64, f
 		c.mu.Lock()
 		if el, ok := c.blocks[bk]; ok {
 			c.lru.MoveToFront(el)
-			data := el.Value.(*block).data
+			b := el.Value.(*block)
+			if !prefetch && b.spec {
+				b.spec = false
+				c.pfUseful.Add(int64(len(b.data)))
+			}
+			data := b.data
 			c.mu.Unlock()
 			if !prefetch {
 				c.hits.Add(1)
@@ -306,19 +352,19 @@ func (c *Cache) getBlock(ctx context.Context, key string, idx, blockLen int64, f
 		switch {
 		case err == nil && len(data) > 0 && c.gen == fl.gen:
 			// No Invalidate raced this fetch: safe to keep.
-			c.insertLocked(bk, data)
+			c.insertLocked(bk, data, prefetch)
 			if prefetch {
 				c.prefetched.Add(1)
 			}
 			if int64(len(data)) < blockLen {
-				c.setEOFLimitLocked(key, idx+1)
+				c.learnEOF(key, idx+1)
 			}
 		case err != nil && prefetch:
 			// A failed prefetch usually means the speculative block lies
 			// past the end of the object; stop read-ahead there. (A
 			// transient network error over-trims at worst — demand reads
 			// are unaffected and Invalidate resets the bound.)
-			c.setEOFLimitLocked(key, idx)
+			c.learnEOF(key, idx)
 		}
 		c.mu.Unlock()
 		close(fl.done)
@@ -326,39 +372,22 @@ func (c *Cache) getBlock(ctx context.Context, key string, idx, blockLen int64, f
 	}
 }
 
-// setEOFLimitLocked records that block idx is the first one past the end of
-// key's object, bounding future read-ahead. Caller holds mu.
-func (c *Cache) setEOFLimitLocked(key string, idx int64) {
-	if c.ra <= 0 {
-		return
-	}
-	st := c.seqStateLocked(key)
-	if st.limit < 0 || idx < st.limit {
-		st.limit = idx
+// learnEOF records that block idx is the first one past the end of key's
+// object, bounding future read-ahead. Safe under mu: planners never call
+// back into the cache.
+func (c *Cache) learnEOF(key string, idx int64) {
+	if c.planner != nil {
+		c.planner.LearnEOF(key, idx)
 	}
 }
 
-// seqStateLocked returns (creating if needed) key's detector state, keeping
-// the map bounded. Caller holds mu.
-func (c *Cache) seqStateLocked(key string) *seqState {
-	st := c.seq[key]
-	if st == nil {
-		if len(c.seq) >= maxSeqEntries {
-			c.seq = make(map[string]*seqState)
-		}
-		st = &seqState{limit: -1}
-		c.seq[key] = st
-	}
-	return st
-}
-
-// insertLocked adds a block and evicts from the LRU tail to stay within
-// capacity. Caller holds mu.
-func (c *Cache) insertLocked(bk blockKey, data []byte) {
+// insertLocked adds a block (spec marks it speculative) and evicts from
+// the LRU tail to stay within capacity. Caller holds mu.
+func (c *Cache) insertLocked(bk blockKey, data []byte, spec bool) {
 	if _, ok := c.blocks[bk]; ok {
 		return
 	}
-	c.blocks[bk] = c.lru.PushFront(&block{bk: bk, data: data})
+	c.blocks[bk] = c.lru.PushFront(&block{bk: bk, data: data, spec: spec})
 	c.used += int64(len(data))
 	for c.used > c.cap && c.lru.Len() > 0 {
 		c.removeLocked(c.lru.Back())
@@ -372,47 +401,19 @@ func (c *Cache) removeLocked(el *list.Element) {
 	c.lru.Remove(el)
 	delete(c.blocks, b.bk)
 	c.used -= int64(len(b.data))
+	if b.spec {
+		// Prefetched, never consumed: the speculation missed.
+		c.pfWasted.Add(int64(len(b.data)))
+	}
 }
 
-// readAhead updates the sequential-access detector for key after a demand
-// read of blocks [first, last] and, on a forward scan, prefetches the next
-// ReadAhead blocks in the background.
+// readAhead feeds a demand read of blocks [first, last] to the prefetch
+// planner and executes whatever it proposes in the background.
 func (c *Cache) readAhead(key string, first, last, size int64, fetch Fetch) {
-	if c.ra <= 0 {
+	if c.planner == nil {
 		return
 	}
-	c.mu.Lock()
-	st := c.seqStateLocked(key)
-	// Forward-sequential: this read starts at (or overlaps) where the
-	// previous one left off. A scan starting at block 0 counts immediately.
-	sequential := first <= st.next && last+1 > st.next
-	if sequential {
-		st.streak++
-	} else {
-		st.streak = 0
-	}
-	st.next = last + 1
-	limit := st.limit
-	trigger := sequential && st.streak >= 1
-	c.mu.Unlock()
-	if !trigger {
-		return
-	}
-	for i := int64(1); i <= int64(c.ra); i++ {
-		idx := last + i
-		blockOff := idx * c.bs
-		if size >= 0 && blockOff >= size {
-			break
-		}
-		if limit >= 0 && idx >= limit {
-			break // known to be past the end of the object
-		}
-		blockLen := c.bs
-		if size >= 0 && blockOff+blockLen > size {
-			blockLen = size - blockOff
-		}
-		go c.getBlock(c.bg, key, idx, blockLen, fetch, true)
-	}
+	c.prefetchRuns(key, size, c.planner.Plan(key, first, last), fetch)
 }
 
 // PeekSpan copies [off, off+len(p)) of key into p if every covering block
@@ -458,7 +459,12 @@ func (c *Cache) PeekSpan(key string, p []byte, off int64) bool {
 		return false
 	}
 	for idx := first; idx <= last; idx++ {
-		c.lru.MoveToFront(c.blocks[blockKey{key, idx}])
+		el := c.blocks[blockKey{key, idx}]
+		if b := el.Value.(*block); b.spec {
+			b.spec = false
+			c.pfUseful.Add(int64(len(b.data)))
+		}
+		c.lru.MoveToFront(el)
 	}
 	c.mu.Unlock()
 	c.hits.Add(last - first + 1)
@@ -500,7 +506,7 @@ func (c *Cache) PutSpan(key string, gen uint64, off int64, data []byte, eof bool
 		if _, ok := c.inflight[bk]; ok {
 			continue
 		}
-		c.insertLocked(bk, append([]byte(nil), data[idx*c.bs-off:blockEnd-off]...))
+		c.insertLocked(bk, append([]byte(nil), data[idx*c.bs-off:blockEnd-off]...), false)
 	}
 }
 
@@ -516,7 +522,9 @@ func (c *Cache) Invalidate(key string) uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.gen++
-	delete(c.seq, key)
+	if c.planner != nil {
+		c.planner.Forget(key)
+	}
 	var next *list.Element
 	for el := c.lru.Front(); el != nil; el = next {
 		next = el.Next()

@@ -1,0 +1,272 @@
+package blockcache
+
+import "sync"
+
+// BlockRange is a run of consecutive block indices a planner proposes to
+// prefetch.
+type BlockRange struct {
+	// Start is the first block index of the run.
+	Start int64
+	// Count is the number of consecutive blocks.
+	Count int64
+}
+
+// PrefetchPlanner decides which blocks to speculate on. The cache feeds it
+// every demand read (Plan) and any externally-registered layout knowledge
+// (Hint); the planner owns the per-key pattern state. Implementations must
+// be safe for concurrent use; the cache may call LearnEOF and Forget while
+// holding its own lock, so planners must never call back into the cache.
+type PrefetchPlanner interface {
+	// Plan observes a demand read covering blocks [first, last] of key
+	// and returns the block runs worth prefetching now (nil for none).
+	Plan(key string, first, last int64) []BlockRange
+
+	// Hint registers upcoming block runs known from outside the access
+	// stream (e.g. rootio's basket layout for the next analysis windows)
+	// and returns the subset the cache should fetch speculatively. A
+	// planner that cannot use foreknowledge returns nil.
+	Hint(key string, runs []BlockRange) []BlockRange
+
+	// LearnEOF records that block idx lies at or past the end of key's
+	// object; no future plan may include it.
+	LearnEOF(key string, idx int64)
+
+	// Forget drops all learned state for key (the key was invalidated).
+	Forget(key string)
+}
+
+// seqState tracks the access pattern of one key for read-ahead detection.
+type seqState struct {
+	// next is the block index a forward-sequential reader would touch next.
+	next int64
+	// streak counts consecutive forward-sequential reads.
+	streak int
+	// limit, when >= 0, is the first block index known to lie past the end
+	// of the object (learned from a short block or a failed prefetch);
+	// read-ahead never goes there.
+	limit int64
+}
+
+// SeqPlanner is the default planner: the forward-scan detector the cache
+// has always shipped, emitting the next ReadAhead blocks as single-block
+// runs once a sequential streak is seen. The cache executes its plans on
+// the legacy per-block path, so behaviour (and bytes on the wire) is
+// exactly the historical read-ahead.
+type SeqPlanner struct {
+	ra int
+
+	mu   sync.Mutex
+	keys map[string]*seqState
+}
+
+// NewSeqPlanner creates the sequential next-N planner. readAhead is how
+// many blocks past the current read to prefetch; <= 0 plans nothing.
+func NewSeqPlanner(readAhead int) *SeqPlanner {
+	return &SeqPlanner{ra: readAhead, keys: make(map[string]*seqState)}
+}
+
+// state returns (creating if needed) key's detector state, keeping the map
+// bounded. Caller holds mu.
+func (p *SeqPlanner) state(key string) *seqState {
+	st := p.keys[key]
+	if st == nil {
+		if len(p.keys) >= maxSeqEntries {
+			p.keys = make(map[string]*seqState)
+		}
+		st = &seqState{limit: -1}
+		p.keys[key] = st
+	}
+	return st
+}
+
+// Plan implements PrefetchPlanner with the historical detector: a read
+// starting at (or overlapping) where the previous one left off extends the
+// streak and triggers next-N read-ahead.
+func (p *SeqPlanner) Plan(key string, first, last int64) []BlockRange {
+	if p.ra <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	st := p.state(key)
+	// Forward-sequential: this read starts at (or overlaps) where the
+	// previous one left off. A scan starting at block 0 counts immediately.
+	sequential := first <= st.next && last+1 > st.next
+	if sequential {
+		st.streak++
+	} else {
+		st.streak = 0
+	}
+	st.next = last + 1
+	limit := st.limit
+	trigger := sequential && st.streak >= 1
+	p.mu.Unlock()
+	if !trigger {
+		return nil
+	}
+	runs := make([]BlockRange, 0, p.ra)
+	for i := int64(1); i <= int64(p.ra); i++ {
+		idx := last + i
+		if limit >= 0 && idx >= limit {
+			break // known to be past the end of the object
+		}
+		runs = append(runs, BlockRange{Start: idx, Count: 1})
+	}
+	return runs
+}
+
+// Hint returns nil: the sequential planner takes no foreknowledge, which
+// keeps Cache.Hint a no-op under the default configuration.
+func (p *SeqPlanner) Hint(string, []BlockRange) []BlockRange { return nil }
+
+// LearnEOF bounds future plans, mirroring the historical EOF learning.
+func (p *SeqPlanner) LearnEOF(key string, idx int64) {
+	if p.ra <= 0 {
+		return
+	}
+	p.mu.Lock()
+	st := p.state(key)
+	if st.limit < 0 || idx < st.limit {
+		st.limit = idx
+	}
+	p.mu.Unlock()
+}
+
+// Forget drops key's detector state.
+func (p *SeqPlanner) Forget(key string) {
+	p.mu.Lock()
+	delete(p.keys, key)
+	p.mu.Unlock()
+}
+
+// strideState is one key's learned access history for the stride planner.
+type strideState struct {
+	// first and span describe the previous demand read (first block index
+	// and block count); span == 0 means no read observed yet.
+	first, span int64
+	// stride is the last observed first-to-first block distance.
+	stride int64
+	// streak counts consecutive reads with the same stride.
+	streak int
+	// limit mirrors seqState.limit.
+	limit int64
+}
+
+// StridePlanner learns the stride of the demand-read stream — including
+// the sparse, branch-skipping pattern of a ROOT analysis touching a subset
+// of columns — and keeps the next predicted reads in flight as coalesced
+// multi-block runs. It also accepts layout hints (Cache.Hint), clipped
+// against the learned end of object, so a reader that knows its future
+// byte ranges can drive exact speculation instead of relying on detection.
+type StridePlanner struct {
+	lookahead int
+
+	mu   sync.Mutex
+	keys map[string]*strideState
+}
+
+// NewStridePlanner creates a stride/sparse planner keeping lookahead
+// predicted reads in flight (<= 0 selects 2).
+func NewStridePlanner(lookahead int) *StridePlanner {
+	if lookahead <= 0 {
+		lookahead = 2
+	}
+	return &StridePlanner{lookahead: lookahead, keys: make(map[string]*strideState)}
+}
+
+// state returns (creating if needed) key's history, keeping the map
+// bounded. Caller holds mu.
+func (p *StridePlanner) state(key string) *strideState {
+	st := p.keys[key]
+	if st == nil {
+		if len(p.keys) >= maxSeqEntries {
+			p.keys = make(map[string]*strideState)
+		}
+		st = &strideState{limit: -1}
+		p.keys[key] = st
+	}
+	return st
+}
+
+// Plan implements PrefetchPlanner: after two reads at the same forward
+// stride (a contiguous scan is the stride == span special case) it
+// predicts the next lookahead reads at that stride.
+func (p *StridePlanner) Plan(key string, first, last int64) []BlockRange {
+	count := last - first + 1
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.state(key)
+	prevFirst, prevSpan := st.first, st.span
+	st.first, st.span = first, count
+	if prevSpan == 0 {
+		st.stride, st.streak = 0, 0
+		return nil
+	}
+	stride := first - prevFirst
+	if stride <= 0 {
+		// Backward jump or re-read: pattern broken, start over.
+		st.stride, st.streak = 0, 0
+		return nil
+	}
+	if stride == st.stride {
+		st.streak++
+	} else {
+		st.stride, st.streak = stride, 1
+	}
+	if st.streak < 2 {
+		return nil
+	}
+	runs := make([]BlockRange, 0, p.lookahead)
+	for k := int64(1); k <= int64(p.lookahead); k++ {
+		start := first + k*stride
+		cnt := count
+		if st.limit >= 0 {
+			if start >= st.limit {
+				break
+			}
+			if start+cnt > st.limit {
+				cnt = st.limit - start
+			}
+		}
+		runs = append(runs, BlockRange{Start: start, Count: cnt})
+	}
+	return runs
+}
+
+// Hint accepts externally-known upcoming runs, clipped to the learned end
+// of object, and hands them back for speculative fetching.
+func (p *StridePlanner) Hint(key string, runs []BlockRange) []BlockRange {
+	p.mu.Lock()
+	limit := p.state(key).limit
+	p.mu.Unlock()
+	if limit < 0 {
+		return runs
+	}
+	out := runs[:0]
+	for _, ru := range runs {
+		if ru.Start >= limit {
+			continue
+		}
+		if ru.Start+ru.Count > limit {
+			ru.Count = limit - ru.Start
+		}
+		out = append(out, ru)
+	}
+	return out
+}
+
+// LearnEOF bounds future plans and hints.
+func (p *StridePlanner) LearnEOF(key string, idx int64) {
+	p.mu.Lock()
+	st := p.state(key)
+	if st.limit < 0 || idx < st.limit {
+		st.limit = idx
+	}
+	p.mu.Unlock()
+}
+
+// Forget drops key's history.
+func (p *StridePlanner) Forget(key string) {
+	p.mu.Lock()
+	delete(p.keys, key)
+	p.mu.Unlock()
+}

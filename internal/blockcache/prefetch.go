@@ -1,0 +1,273 @@
+package blockcache
+
+import (
+	"context"
+	"sort"
+)
+
+// Span is one byte range of the object backing a cache key.
+type Span struct {
+	Off, Len int64
+}
+
+// FetchVec retrieves several spans of the object backing key in one
+// vectored request (dsts[i] sized to spans[i].Len). The cache uses it for
+// coalesced multi-range prefetches — one pooled request instead of one GET
+// per block.
+type FetchVec func(ctx context.Context, key string, spans []Span, dsts [][]byte) error
+
+// Hint feeds byte spans the caller knows it will read soon (e.g. the
+// basket layout of the next analysis windows) into the prefetch planner,
+// speculatively fetching whatever the planner approves. size is the object
+// size when known, else -1; fetch serves as the fallback when no FetchVec
+// is configured. With the default sequential planner this is a no-op.
+func (c *Cache) Hint(key string, size int64, spans []Span, fetch Fetch) {
+	if c.planner == nil || len(spans) == 0 {
+		return
+	}
+	runs := make([]BlockRange, 0, len(spans))
+	for _, sp := range spans {
+		if sp.Len <= 0 {
+			continue
+		}
+		first := sp.Off / c.bs
+		last := (sp.Off + sp.Len - 1) / c.bs
+		runs = append(runs, BlockRange{Start: first, Count: last - first + 1})
+	}
+	c.prefetchRuns(key, size, normalizeRuns(runs), fetch)
+}
+
+// normalizeRuns sorts runs and merges overlapping or adjacent ones.
+func normalizeRuns(runs []BlockRange) []BlockRange {
+	if len(runs) < 2 {
+		return runs
+	}
+	sort.Slice(runs, func(a, b int) bool { return runs[a].Start < runs[b].Start })
+	out := runs[:1]
+	for _, ru := range runs[1:] {
+		prev := &out[len(out)-1]
+		if ru.Start <= prev.Start+prev.Count {
+			if end := ru.Start + ru.Count; end > prev.Start+prev.Count {
+				prev.Count = end - prev.Start
+			}
+			continue
+		}
+		out = append(out, ru)
+	}
+	return out
+}
+
+// prefetchRuns executes a planner's proposal. Plans from the default
+// SeqPlanner take the historical per-block path (one background GET per
+// block — behaviour preserved exactly); other planners get their runs
+// batched into a single vectored request when a FetchVec is configured.
+func (c *Cache) prefetchRuns(key string, size int64, runs []BlockRange, fetch Fetch) {
+	runs = c.clipRuns(size, runs)
+	if len(runs) == 0 {
+		return
+	}
+	_, legacy := c.planner.(*SeqPlanner)
+	if c.fetchVec != nil && !legacy {
+		c.prefetchVec(key, size, runs)
+		return
+	}
+	for _, ru := range runs {
+		for i := int64(0); i < ru.Count; i++ {
+			idx := ru.Start + i
+			blockLen := c.blockLen(size, idx)
+			if blockLen <= 0 {
+				return
+			}
+			if !c.prefetchBlock(key, idx, blockLen, fetch) {
+				return // budget exhausted: demand reads take over
+			}
+		}
+	}
+}
+
+// clipRuns drops or shortens runs extending past the object size.
+func (c *Cache) clipRuns(size int64, runs []BlockRange) []BlockRange {
+	if size < 0 {
+		return runs
+	}
+	blocks := (size + c.bs - 1) / c.bs
+	out := runs[:0]
+	for _, ru := range runs {
+		if ru.Start >= blocks {
+			continue
+		}
+		if ru.Start+ru.Count > blocks {
+			ru.Count = blocks - ru.Start
+		}
+		if ru.Count > 0 {
+			out = append(out, ru)
+		}
+	}
+	return out
+}
+
+// blockLen is the byte length of block idx given the object size.
+func (c *Cache) blockLen(size, idx int64) int64 {
+	blockLen := c.bs
+	if size >= 0 {
+		if off := idx * c.bs; off+blockLen > size {
+			blockLen = size - off
+		}
+	}
+	return blockLen
+}
+
+// prefetchBlock speculatively fetches one block on the legacy path,
+// reporting false when the in-flight budget denies the fetch.
+func (c *Cache) prefetchBlock(key string, idx, blockLen int64, fetch Fetch) bool {
+	bk := blockKey{key, idx}
+	c.mu.Lock()
+	_, resident := c.blocks[bk]
+	_, busy := c.inflight[bk]
+	c.mu.Unlock()
+	if resident || busy {
+		return true // nothing to issue
+	}
+	if !c.acquireBudget(blockLen) {
+		c.pfCancelled.Add(1)
+		return false
+	}
+	c.pfIssuedSpans.Add(1)
+	c.pfIssuedBytes.Add(blockLen)
+	if c.onPfIssued != nil {
+		c.onPfIssued(key, 1, blockLen)
+	}
+	go func() {
+		defer c.releaseBudget(blockLen)
+		_, err := c.getBlock(c.bg, key, idx, blockLen, fetch, true)
+		if c.onPfSettled != nil {
+			c.onPfSettled(key, blockLen, err)
+		}
+	}()
+	return true
+}
+
+// prefetchVec fetches the given runs as one coalesced vectored request.
+// Every not-yet-resident, not-in-flight block is reserved with a flight so
+// demand readers join instead of duplicating the fetch; the in-flight
+// budget trims the batch from the tail when speculation would outgrow it.
+func (c *Cache) prefetchVec(key string, size int64, runs []BlockRange) {
+	type job struct {
+		span   Span
+		blocks []blockKey
+		fls    []*flight
+	}
+	var jobs []job
+	var total int64
+
+	c.mu.Lock()
+	gen := c.gen
+reserve:
+	for _, ru := range runs {
+		var cur *job
+		for i := int64(0); i < ru.Count; i++ {
+			idx := ru.Start + i
+			bk := blockKey{key, idx}
+			_, resident := c.blocks[bk]
+			_, busy := c.inflight[bk]
+			if resident || busy {
+				cur = nil
+				continue
+			}
+			blockLen := c.blockLen(size, idx)
+			if blockLen <= 0 {
+				break
+			}
+			if c.budget > 0 && c.pfInFlight+total+blockLen > c.budget {
+				// Budget full: issue what fits, drop the rest.
+				c.pfCancelled.Add(1)
+				break reserve
+			}
+			fl := &flight{done: make(chan struct{}), gen: gen}
+			c.inflight[bk] = fl
+			total += blockLen
+			if cur == nil {
+				jobs = append(jobs, job{span: Span{Off: idx * c.bs}})
+				cur = &jobs[len(jobs)-1]
+			}
+			cur.span.Len += blockLen
+			cur.blocks = append(cur.blocks, bk)
+			cur.fls = append(cur.fls, fl)
+		}
+	}
+	if len(jobs) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	c.pfInFlight += total
+	c.mu.Unlock()
+
+	spans := make([]Span, len(jobs))
+	dsts := make([][]byte, len(jobs))
+	for i, j := range jobs {
+		spans[i] = j.span
+		dsts[i] = make([]byte, j.span.Len)
+	}
+	c.pfIssuedSpans.Add(int64(len(spans)))
+	c.pfIssuedBytes.Add(total)
+	if c.onPfIssued != nil {
+		c.onPfIssued(key, len(spans), total)
+	}
+
+	go func() {
+		err := c.fetchVec(c.bg, key, spans, dsts)
+		c.mu.Lock()
+		for i := range jobs {
+			var at int64
+			for bi, bk := range jobs[i].blocks {
+				fl := jobs[i].fls[bi]
+				blockLen := c.blockLen(size, bk.idx)
+				if err == nil {
+					fl.data = dsts[i][at : at+blockLen]
+				}
+				fl.err = err
+				at += blockLen
+				delete(c.inflight, bk)
+				if err == nil && c.gen == fl.gen {
+					c.insertLocked(bk, fl.data, true)
+					c.prefetched.Add(1)
+				}
+			}
+		}
+		c.mu.Unlock()
+		c.releaseBudget(total)
+		for i := range jobs {
+			for _, fl := range jobs[i].fls {
+				close(fl.done)
+			}
+		}
+		if c.onPfSettled != nil {
+			c.onPfSettled(key, total, err)
+		}
+	}()
+}
+
+// acquireBudget reserves n speculative in-flight bytes, reporting false
+// when the budget would be exceeded (budget 0 means unlimited).
+func (c *Cache) acquireBudget(n int64) bool {
+	if c.budget <= 0 {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pfInFlight+n > c.budget {
+		return false
+	}
+	c.pfInFlight += n
+	return true
+}
+
+// releaseBudget returns n reserved bytes.
+func (c *Cache) releaseBudget(n int64) {
+	if c.budget <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.pfInFlight -= n
+	c.mu.Unlock()
+}

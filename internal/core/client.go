@@ -20,6 +20,7 @@ import (
 	"godavix/internal/metalink"
 	"godavix/internal/obs"
 	"godavix/internal/pool"
+	"godavix/internal/rangev"
 	"godavix/internal/s3"
 	"godavix/internal/wire"
 )
@@ -205,6 +206,20 @@ type Options struct {
 	// requires CacheSize > 0).
 	ReadAhead int
 
+	// PrefetchDepth enables learned prefetch (requires CacheSize > 0 for
+	// the planner side): > 0 replaces the cache's sequential read-ahead
+	// with the stride/sparse planner keeping that many predicted reads in
+	// flight, makes File.PrefetchHint feed layout foreknowledge into it,
+	// and sizes the rootio window pipeline riding File.ReadVecAsyncCtx.
+	// 0 (the default) keeps the historical behaviour exactly.
+	PrefetchDepth int
+
+	// PrefetchBudget bounds the speculative bytes the cache keeps in
+	// flight at once, so speculation never starves demand reads. 0 picks
+	// the default (16 MiB when PrefetchDepth > 0, unlimited otherwise);
+	// negative means explicitly unlimited.
+	PrefetchBudget int64
+
 	// StatTTL caches Stat/Open metadata — including negative 404 results —
 	// for this duration, absorbing stat storms (0 disables).
 	StatTTL time.Duration
@@ -286,6 +301,15 @@ func (o Options) withDefaults() Options {
 	if o.ReadAhead < 0 {
 		o.ReadAhead = 0
 	}
+	if o.PrefetchDepth < 0 {
+		o.PrefetchDepth = 0
+	}
+	if o.PrefetchBudget == 0 && o.PrefetchDepth > 0 {
+		o.PrefetchBudget = 16 << 20
+	}
+	if o.PrefetchBudget < 0 {
+		o.PrefetchBudget = 0
+	}
 	if o.StatTTL < 0 {
 		o.StatTTL = 0
 	}
@@ -362,6 +386,19 @@ func NewClient(opts Options) (*Client, error) {
 			ReadAhead:  opts.ReadAhead,
 			Background: bg,
 		}
+		if opts.PrefetchDepth > 0 {
+			cfg.Planner = blockcache.NewStridePlanner(opts.PrefetchDepth)
+			cfg.FetchVec = c.cacheFetchVec()
+			cfg.PrefetchBudget = opts.PrefetchBudget
+		}
+		cfg.OnPrefetchIssued = func(key string, spans int, bytes int64) {
+			c.metrics.prefetchIssued.Add(1)
+			c.metrics.prefetchBytes.Add(bytes)
+			c.trace.EmitPrefetchIssued(prettyKey(key), spans, bytes)
+		}
+		cfg.OnPrefetchSettled = func(key string, bytes int64, err error) {
+			c.trace.EmitPrefetchSettled(prettyKey(key), bytes, err)
+		}
 		if tr := c.trace; tr != nil {
 			if tr.CacheHit != nil {
 				cfg.OnHit = func(key string, blocks int64) { tr.CacheHit(prettyKey(key), blocks) }
@@ -429,6 +466,23 @@ func (c *Client) invalidateCache(host, path string) uint64 {
 func (c *Client) cacheFetch(host, path string) blockcache.Fetch {
 	return func(ctx context.Context, off, length int64) ([]byte, error) {
 		return c.getRange(ctx, host, path, off, length)
+	}
+}
+
+// cacheFetchVec returns the vectored fetch the cache's prefetch planner
+// uses for coalesced speculation: one multi-range request through the
+// pooled engine, with the same replica failover as demand reads. It
+// bypasses the cached read path — the cache installs the blocks itself.
+func (c *Client) cacheFetchVec() blockcache.FetchVec {
+	return func(ctx context.Context, key string, spans []blockcache.Span, dsts [][]byte) error {
+		host, path, _ := strings.Cut(key, "\x00")
+		ranges := make([]rangev.Range, len(spans))
+		for i, sp := range spans {
+			ranges[i] = rangev.Range{Off: sp.Off, Len: sp.Len}
+		}
+		return c.withFailover(ctx, host, path, func(r Replica) error {
+			return c.readVecOnce(ctx, r.Host, r.Path, ranges, dsts)
+		})
 	}
 }
 

@@ -2,10 +2,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync/atomic"
 
+	"godavix/internal/blockcache"
 	"godavix/internal/rangev"
 )
 
@@ -94,6 +96,57 @@ func (f *File) ReadVec(ranges []rangev.Range, dsts [][]byte) error {
 		return ErrFileClosed
 	}
 	return f.client.ReadVec(f.ctx, f.host, f.path, ranges, dsts)
+}
+
+// ReadVecAsyncCtx starts a vectored read in the background and returns a
+// buffered channel yielding its single completion error. Cancelling ctx
+// abandons the fetch mid-flight (the channel then yields the cancellation
+// error); the File's own context cancels it too. rootio's window pipeline
+// uses this to keep the next analysis windows' transfers in flight under
+// the current window's decode/compute — the async overlap the xrootd
+// baseline gets from kXR_readv.
+func (f *File) ReadVecAsyncCtx(ctx context.Context, ranges []rangev.Range, dsts [][]byte) <-chan error {
+	done := make(chan error, 1)
+	if f.closed.Load() {
+		done <- ErrFileClosed
+		return done
+	}
+	var total int64
+	for _, r := range ranges {
+		total += r.Len
+	}
+	f.client.metrics.prefetchIssued.Add(1)
+	f.client.metrics.prefetchBytes.Add(total)
+	f.client.trace.EmitPrefetchIssued(f.path, len(ranges), total)
+	go func() {
+		inner, cancel := context.WithCancel(ctx)
+		stop := context.AfterFunc(f.ctx, cancel)
+		err := f.client.ReadVec(inner, f.host, f.path, ranges, dsts)
+		stop()
+		cancel()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			f.client.metrics.prefetchCancelled.Add(1)
+		}
+		f.client.trace.EmitPrefetchSettled(f.path, total, err)
+		done <- err
+	}()
+	return done
+}
+
+// PrefetchHint hands byte ranges the caller knows it will read soon to
+// the client's learned read-ahead planner, which may fetch them as
+// coalesced speculation under the prefetch budget. A no-op without a
+// cache — and under the default sequential planner, which takes no
+// foreknowledge.
+func (f *File) PrefetchHint(ranges []rangev.Range) {
+	if f.closed.Load() || f.client.cache == nil {
+		return
+	}
+	spans := make([]blockcache.Span, len(ranges))
+	for i, r := range ranges {
+		spans[i] = blockcache.Span{Off: r.Off, Len: r.Len}
+	}
+	f.client.cache.Hint(cacheKey(f.host, f.path), f.size, spans, f.client.cacheFetch(f.host, f.path))
 }
 
 // Read implements io.Reader using the shared cursor.

@@ -69,6 +69,14 @@ type Metrics struct {
 	HedgesIssued     int64
 	HedgeWins        int64
 	HedgeWastedBytes int64
+	// PrefetchIssued counts speculative fetch requests put on the wire —
+	// planner-driven cache read-ahead and pipelined window fills both
+	// count; PrefetchBytes is the volume they asked for; and
+	// PrefetchCancelled counts speculative fetches cancelled mid-flight
+	// (pattern jump, retrain, shutdown).
+	PrefetchIssued    int64
+	PrefetchBytes     int64
+	PrefetchCancelled int64
 	// ResumedBytes counts bytes a checkpointed transfer proved intact
 	// against their journaled digests and skipped re-transferring;
 	// ResumeVerifyFailures counts journaled chunks whose digest no longer
@@ -149,6 +157,7 @@ type metrics struct {
 	pooledBytesUp, pooledBytesDown                        atomic.Int64
 	transfersVerified, checksumMismatches                 atomic.Int64
 	hedgesIssued, hedgeWins, hedgeWastedBytes             atomic.Int64
+	prefetchIssued, prefetchBytes, prefetchCancelled      atomic.Int64
 	resumedBytes, resumeVerifyFailures                    atomic.Int64
 	ops                                                   sync.Map // string -> *opHist
 }
@@ -186,6 +195,9 @@ func (m *metrics) snapshot() Metrics {
 		HedgesIssued:         m.hedgesIssued.Load(),
 		HedgeWins:            m.hedgeWins.Load(),
 		HedgeWastedBytes:     m.hedgeWastedBytes.Load(),
+		PrefetchIssued:       m.prefetchIssued.Load(),
+		PrefetchBytes:        m.prefetchBytes.Load(),
+		PrefetchCancelled:    m.prefetchCancelled.Load(),
 		ResumedBytes:         m.resumedBytes.Load(),
 		ResumeVerifyFailures: m.resumeVerifyFailures.Load(),
 		Ops:                  map[string]OpStats{},

@@ -55,6 +55,9 @@ func (s Snapshot) Expo() obs.Snapshot {
 		{Name: "hedges_issued_total", Help: "Chunk reads that outlived their latency budget and were raced against a standby replica.", Value: s.Engine.HedgesIssued},
 		{Name: "hedge_wins_total", Help: "Hedged chunk races the standby replica won.", Value: s.Engine.HedgeWins},
 		{Name: "hedge_wasted_bytes_total", Help: "Payload bytes the losing side of a hedged race had delivered when cancelled.", Value: s.Engine.HedgeWastedBytes},
+		{Name: "prefetch_issued_total", Help: "Speculative fetch requests put on the wire (cache read-ahead plans and pipelined window fills).", Value: s.Engine.PrefetchIssued},
+		{Name: "prefetch_bytes_total", Help: "Bytes requested by speculative fetches.", Value: s.Engine.PrefetchBytes},
+		{Name: "prefetch_cancelled_total", Help: "Speculative fetches cancelled mid-flight (pattern jump, retrain, shutdown).", Value: s.Engine.PrefetchCancelled},
 		{Name: "resumed_bytes_total", Help: "Bytes proven intact against a checkpoint journal and skipped on resume.", Value: s.Engine.ResumedBytes},
 		{Name: "resume_verify_failures_total", Help: "Journaled chunks whose digest no longer matched on resume and were re-fetched.", Value: s.Engine.ResumeVerifyFailures},
 		{Name: "cache_hits_total", Help: "Blocks served from the in-memory cache.", Value: s.Cache.Hits},
@@ -62,6 +65,11 @@ func (s Snapshot) Expo() obs.Snapshot {
 		{Name: "cache_evictions_total", Help: "Blocks dropped to make room at capacity.", Value: s.Cache.Evictions},
 		{Name: "cache_prefetched_total", Help: "Blocks fetched by the read-ahead engine.", Value: s.Cache.Prefetched},
 		{Name: "cache_singleflight_joins_total", Help: "Reads that joined another reader's in-flight fetch.", Value: s.Cache.SingleFlightJoins},
+		{Name: "cache_prefetch_issued_spans_total", Help: "Ranges the cache's speculative fetches carried.", Value: s.Cache.PrefetchIssuedSpans},
+		{Name: "cache_prefetch_issued_bytes_total", Help: "Bytes the cache's speculative fetches requested.", Value: s.Cache.PrefetchIssuedBytes},
+		{Name: "cache_prefetch_useful_bytes_total", Help: "Prefetched bytes a demand read later consumed.", Value: s.Cache.PrefetchUsefulBytes},
+		{Name: "cache_prefetch_wasted_bytes_total", Help: "Prefetched bytes evicted or invalidated untouched.", Value: s.Cache.PrefetchWastedBytes},
+		{Name: "cache_prefetch_cancelled_total", Help: "Cache speculation dropped before issue (budget exhaustion).", Value: s.Cache.PrefetchCancelled},
 		{Name: "cache_bytes", Help: "Resident cache payload bytes.", Value: s.Cache.BytesCached, Gauge: true},
 		{Name: "stat_hits_total", Help: "Metadata-cache hits (negative 404 hits included).", Value: s.Cache.StatHits},
 		{Name: "stat_misses_total", Help: "Metadata-cache misses.", Value: s.Cache.StatMisses},

@@ -76,6 +76,16 @@ func SlogTrace(l *slog.Logger) *ClientTrace {
 			l.Debug("davix hedge settled", "path", path, "idx", idx,
 				"hedge_won", hedgeWon, "wasted", wasted)
 		},
+		PrefetchIssued: func(path string, spans int, bytes int64) {
+			l.Debug("davix prefetch issued", "path", path, "spans", spans, "bytes", bytes)
+		},
+		PrefetchSettled: func(path string, bytes int64, err error) {
+			if err != nil {
+				l.Warn("davix prefetch failed", "path", path, "bytes", bytes, "err", err)
+				return
+			}
+			l.Debug("davix prefetch settled", "path", path, "bytes", bytes)
+		},
 		Resume: func(dir Direction, path string, resumed int64, verified, failed int) {
 			l.Info("davix resume", "dir", string(dir), "path", path,
 				"resumed_bytes", resumed, "verified_chunks", verified,

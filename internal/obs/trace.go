@@ -115,6 +115,15 @@ type ClientTrace struct {
 	// cancelled (the duplicate-traffic cost of the hedge).
 	HedgeSettled func(path string, idx int, hedgeWon bool, wasted int64)
 
+	// PrefetchIssued fires when the learned read-ahead puts a speculative
+	// fetch on the wire for path: spans is how many ranges the coalesced
+	// request carries, bytes their total volume.
+	PrefetchIssued func(path string, spans int, bytes int64)
+
+	// PrefetchSettled fires when a speculative fetch completes, with the
+	// bytes it had requested and its error (nil on success).
+	PrefetchSettled func(path string, bytes int64, err error)
+
 	// Resume fires once per transfer that picked up a checkpoint journal,
 	// after the journaled chunks were re-verified against their recorded
 	// digests: resumed counts bytes proven intact and skipped, verified the
@@ -246,6 +255,22 @@ func (t *ClientTrace) EmitHedgeSettled(path string, idx int, hedgeWon bool, wast
 	t.HedgeSettled(path, idx, hedgeWon, wasted)
 }
 
+// EmitPrefetchIssued invokes PrefetchIssued if installed.
+func (t *ClientTrace) EmitPrefetchIssued(path string, spans int, bytes int64) {
+	if t == nil || t.PrefetchIssued == nil {
+		return
+	}
+	t.PrefetchIssued(path, spans, bytes)
+}
+
+// EmitPrefetchSettled invokes PrefetchSettled if installed.
+func (t *ClientTrace) EmitPrefetchSettled(path string, bytes int64, err error) {
+	if t == nil || t.PrefetchSettled == nil {
+		return
+	}
+	t.PrefetchSettled(path, bytes, err)
+}
+
 // EmitResume invokes Resume if installed.
 func (t *ClientTrace) EmitResume(dir Direction, path string, resumed int64, verified, failed int) {
 	if t == nil || t.Resume == nil {
@@ -324,6 +349,14 @@ func Merge(a, b *ClientTrace) *ClientTrace {
 		HedgeSettled: func(path string, idx int, hedgeWon bool, wasted int64) {
 			a.EmitHedgeSettled(path, idx, hedgeWon, wasted)
 			b.EmitHedgeSettled(path, idx, hedgeWon, wasted)
+		},
+		PrefetchIssued: func(path string, spans int, bytes int64) {
+			a.EmitPrefetchIssued(path, spans, bytes)
+			b.EmitPrefetchIssued(path, spans, bytes)
+		},
+		PrefetchSettled: func(path string, bytes int64, err error) {
+			a.EmitPrefetchSettled(path, bytes, err)
+			b.EmitPrefetchSettled(path, bytes, err)
 		},
 		Resume: func(dir Direction, path string, resumed int64, verified, failed int) {
 			a.EmitResume(dir, path, resumed, verified, failed)

@@ -1,0 +1,277 @@
+package rootio
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"godavix/internal/rangev"
+)
+
+// asyncCtxSource wraps a byte-image source with a context-aware
+// asynchronous vectored read that records every fill's context and tracks
+// how many fills are in flight at once.
+type asyncCtxSource struct {
+	mu    sync.Mutex
+	ctxs  []context.Context
+	cur   int64
+	max   int64
+	delay time.Duration
+}
+
+func (a *asyncCtxSource) source(img []byte) Source {
+	src := BytesSource(img)
+	sync := src.ReadVec
+	src.ReadVecAsyncCtx = func(ctx context.Context, ranges []rangev.Range, dsts [][]byte) <-chan error {
+		a.mu.Lock()
+		a.ctxs = append(a.ctxs, ctx)
+		a.cur++
+		if a.cur > a.max {
+			a.max = a.cur
+		}
+		a.mu.Unlock()
+		ch := make(chan error, 1)
+		go func() {
+			defer func() {
+				a.mu.Lock()
+				a.cur--
+				a.mu.Unlock()
+			}()
+			if a.delay > 0 {
+				select {
+				case <-time.After(a.delay):
+				case <-ctx.Done():
+					ch <- ctx.Err()
+					return
+				}
+			}
+			ch <- sync(ranges, dsts)
+		}()
+		return ch
+	}
+	return src
+}
+
+func (a *asyncCtxSource) maxInFlight() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.max
+}
+
+func (a *asyncCtxSource) cancelledCtxs() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, ctx := range a.ctxs {
+		if ctx.Err() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// TestTreeCacheDepthZeroByteForByte: with depth 0 the cache must put
+// exactly the legacy synchronous request stream on the wire — same calls,
+// same ranges, same order — even when the source offers the async path.
+func TestTreeCacheDepthZeroByteForByte(t *testing.T) {
+	events := randomEvents(31, 1500, 3, 32)
+	img := buildFile(t, []string{"a", "b", "c"}, events, WriterOptions{EventsPerBasket: 128})
+
+	record := func(src Source, log *[][]rangev.Range) Source {
+		inner := src.ReadVec
+		src.ReadVec = func(ranges []rangev.Range, dsts [][]byte) error {
+			*log = append(*log, append([]rangev.Range(nil), ranges...))
+			return inner(ranges, dsts)
+		}
+		return src
+	}
+
+	var legacyLog, depthLog [][]rangev.Range
+	r1, err := OpenReader(record(BytesSource(img), &legacyLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc1 := NewTreeCache(r1, 400, nil) // sync-only source: automatic depth 0
+	defer tc1.Close()
+
+	var asyncCalls atomic.Int64
+	src2 := record(BytesSource(img), &depthLog)
+	src2.ReadVecAsyncCtx = func(context.Context, []rangev.Range, [][]byte) <-chan error {
+		asyncCalls.Add(1)
+		ch := make(chan error, 1)
+		ch <- errors.New("async path must not be used at depth 0")
+		return ch
+	}
+	r2, err := OpenReader(src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc2 := NewTreeCacheDepth(r2, 400, nil, 0)
+	defer tc2.Close()
+
+	legacyLog, depthLog = nil, nil // ignore open-time reads
+	for ev := uint64(0); ev < 1500; ev++ {
+		want, err := tc1.Event(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tc2.Event(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := range want {
+			if !bytes.Equal(want[b], got[b]) {
+				t.Fatalf("event %d branch %d mismatch", ev, b)
+			}
+		}
+	}
+	if asyncCalls.Load() != 0 {
+		t.Fatalf("depth 0 used the async path %d times", asyncCalls.Load())
+	}
+	if !reflect.DeepEqual(legacyLog, depthLog) {
+		t.Fatalf("depth 0 wire stream differs from legacy: %d vs %d calls", len(depthLog), len(legacyLog))
+	}
+	if issued, wasted, cancelled := tc2.PrefetchStats(); issued != 0 || wasted != 0 || cancelled != 0 {
+		t.Fatalf("depth 0 booked speculation: issued=%d wasted=%d cancelled=%d", issued, wasted, cancelled)
+	}
+}
+
+// TestTreeCachePipelineKeepsWindowsInFlight: a sequential scan at depth 3
+// must hold several window fills in flight at once, read back correctly,
+// and waste nothing.
+func TestTreeCachePipelineKeepsWindowsInFlight(t *testing.T) {
+	events := randomEvents(32, 2048, 2, 32)
+	img := buildFile(t, []string{"a", "b"}, events, WriterOptions{EventsPerBasket: 64})
+
+	a := &asyncCtxSource{delay: 2 * time.Millisecond}
+	r, err := OpenReader(a.source(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTreeCacheDepth(r, 256, nil, 3)
+	defer tc.Close()
+
+	for ev := uint64(0); ev < 2048; ev++ {
+		got, err := tc.Event(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[0], events[ev][0]) || !bytes.Equal(got[1], events[ev][1]) {
+			t.Fatalf("event %d mismatch under pipelining", ev)
+		}
+	}
+	if got := a.maxInFlight(); got < 2 {
+		t.Fatalf("pipeline never overlapped fills: max in flight = %d", got)
+	}
+	if got := tc.Fills(); got != 8 {
+		t.Fatalf("fills = %d, want 8 (each window filled exactly once)", got)
+	}
+	issued, wasted, cancelled := tc.PrefetchStats()
+	if issued == 0 {
+		t.Fatal("no speculative bytes issued")
+	}
+	if wasted != 0 || cancelled != 0 {
+		t.Fatalf("sequential scan wasted speculation: wasted=%d cancelled=%d", wasted, cancelled)
+	}
+}
+
+// TestTreeCacheCancelsFillsOnPatternJump: jumping away from the predicted
+// windows must cancel their in-flight fills and book the bytes as waste.
+func TestTreeCacheCancelsFillsOnPatternJump(t *testing.T) {
+	events := randomEvents(33, 2000, 2, 32)
+	img := buildFile(t, []string{"a", "b"}, events, WriterOptions{EventsPerBasket: 64})
+
+	a := &asyncCtxSource{}
+	r, err := OpenReader(a.source(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTreeCacheDepth(r, 200, nil, 2)
+	defer tc.Close()
+
+	if _, err := tc.Event(0); err != nil { // window 0 + fills for windows 1, 2
+		t.Fatal(err)
+	}
+	got, err := tc.Event(1800) // far jump: windows 1, 2 are now dead weight
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[0], events[1800][0]) {
+		t.Fatal("post-jump event mismatch")
+	}
+	issued, wasted, cancelled := tc.PrefetchStats()
+	if cancelled != 2 {
+		t.Fatalf("jump cancelled %d fills, want 2", cancelled)
+	}
+	if wasted == 0 || wasted > issued {
+		t.Fatalf("waste accounting off: issued=%d wasted=%d", issued, wasted)
+	}
+	if got := a.cancelledCtxs(); got != 2 {
+		t.Fatalf("%d fill contexts cancelled, want 2", got)
+	}
+}
+
+// TestTrainingCacheRetrainCancelsPendingFills: a post-training branch miss
+// rebuilds the window cache; the fills in flight for the stale branch set
+// must be cancelled, and the widened set must read correctly afterwards.
+func TestTrainingCacheRetrainCancelsPendingFills(t *testing.T) {
+	events := randomEvents(34, 1200, 3, 32)
+	img := buildFile(t, []string{"a", "b", "c"}, events, WriterOptions{EventsPerBasket: 64})
+
+	a := &asyncCtxSource{}
+	r, err := OpenReader(a.source(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrainingCacheDepth(r, 50, 200, 2)
+	defer tr.Close()
+
+	// Train on branch 0 only, then read past training so the pipeline
+	// issues speculative fills for the learned {0} set.
+	for ev := uint64(0); ev < 60; ev++ {
+		p, err := tr.Branch(ev, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p, events[ev][0]) {
+			t.Fatalf("event %d branch 0 mismatch", ev)
+		}
+	}
+	if !tr.Trained() {
+		t.Fatal("not trained after the training window")
+	}
+	before := a.cancelledCtxs()
+
+	// First touch of branch 2 after training: transparent retrain.
+	p, err := tr.Branch(60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, events[60][2]) {
+		t.Fatal("late-discovered branch mismatch")
+	}
+	if tr.Retrains() != 1 {
+		t.Fatalf("retrains = %d, want 1", tr.Retrains())
+	}
+	if after := a.cancelledCtxs(); after <= before {
+		t.Fatalf("retrain did not cancel stale in-flight fills (%d before, %d after)", before, after)
+	}
+
+	// The widened branch set keeps serving correctly across windows.
+	for ev := uint64(61); ev < 1200; ev += 97 {
+		for _, bi := range []int{0, 2} {
+			p, err := tr.Branch(ev, bi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(p, events[ev][bi]) {
+				t.Fatalf("event %d branch %d mismatch after retrain", ev, bi)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package rootio
 import (
 	"bytes"
 	"compress/zlib"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -27,6 +28,19 @@ type Source struct {
 	// the next window's network fetch with the current window's
 	// processing (the sliding-window advantage of §3).
 	ReadVecAsync func(ranges []rangev.Range, dsts [][]byte) <-chan error
+
+	// ReadVecAsyncCtx, when non-nil, is preferred over ReadVecAsync: the
+	// same background fetch, but cancellable. The window pipeline cancels
+	// a fill mid-flight when the access pattern jumps away from its
+	// window or a retrain retires the whole branch set.
+	ReadVecAsyncCtx func(ctx context.Context, ranges []rangev.Range, dsts [][]byte) <-chan error
+
+	// Hint, when non-nil, registers upcoming byte ranges with the
+	// transport's learned read-ahead planner without fetching them here.
+	// Sources backed by a block cache use it so speculation rides the
+	// pooled engine (with budget and accuracy accounting) instead of the
+	// caller's goroutines.
+	Hint func(ranges []rangev.Range)
 }
 
 // BytesSource adapts an in-memory file image to a Source.

@@ -15,22 +15,33 @@ import (
 // A branch first touched after training triggers a transparent retrain
 // (the new branch joins the set and the windowed cache is rebuilt), so
 // correctness never depends on the training window being representative.
+// The rebuild hands the widened branch set to the prefetch pipeline and
+// cancels any fills in flight for the stale set.
 type TrainingCache struct {
 	reader      *Reader
 	window      uint64
 	trainEvents uint64
+	depth       int
 
 	used    map[int]bool
 	trained bool
 	tc      *TreeCache
+	pos     map[int]int // branch index -> position in tc.branches
 
 	retrains int
 }
 
 // NewTrainingCache creates a TrainingCache over r. trainEvents bounds the
 // learning phase (0 selects 100, ROOT's entry-range default spirit);
-// windowEvents is the post-training TreeCache window.
+// windowEvents is the post-training TreeCache window. The prefetch depth
+// is the TreeCache automatic default.
 func NewTrainingCache(r *Reader, trainEvents, windowEvents uint64) *TrainingCache {
+	return NewTrainingCacheDepth(r, trainEvents, windowEvents, -1)
+}
+
+// NewTrainingCacheDepth is NewTrainingCache with an explicit prefetch
+// depth for the post-training window pipeline (see NewTreeCacheDepth).
+func NewTrainingCacheDepth(r *Reader, trainEvents, windowEvents uint64, depth int) *TrainingCache {
 	if trainEvents == 0 {
 		trainEvents = 100
 	}
@@ -38,6 +49,7 @@ func NewTrainingCache(r *Reader, trainEvents, windowEvents uint64) *TrainingCach
 		reader:      r,
 		window:      windowEvents,
 		trainEvents: trainEvents,
+		depth:       depth,
 		used:        make(map[int]bool),
 	}
 }
@@ -68,12 +80,28 @@ func (t *TrainingCache) Branch(ev uint64, bi int) ([]byte, error) {
 	}
 	if !t.trained {
 		t.used[bi] = true
-		if ev+1 >= t.trainEvents {
-			t.finishTraining()
+		// Batch the demand reads: one vectored fetch brings this event's
+		// basket for every branch learned so far (already-decoded baskets
+		// are skipped by loadBaskets), instead of a one-branch round trip
+		// per Branch call — O(events) fetches during training instead of
+		// O(events × branches).
+		keys := make([]basketKey, 0, len(t.used))
+		for _, ubi := range t.UsedBranches() {
+			bk, err := t.reader.basketFor(ubi, ev)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, basketKey{branch: ubi, basket: bk})
+		}
+		if err := t.reader.loadBaskets(keys); err != nil {
+			return nil, err
 		}
 		vals, err := t.reader.ReadEvent(ev, []int{bi})
 		if err != nil {
 			return nil, err
+		}
+		if ev+1 >= t.trainEvents {
+			t.finishTraining()
 		}
 		return vals[0], nil
 	}
@@ -87,11 +115,8 @@ func (t *TrainingCache) Branch(ev uint64, bi int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	// tc serves branches in UsedBranches() order; locate bi.
-	for i, ubi := range t.tc.branches {
-		if ubi == bi {
-			return vals[i], nil
-		}
+	if i, ok := t.pos[bi]; ok {
+		return vals[i], nil
 	}
 	return nil, fmt.Errorf("rootio: branch %d missing from trained set", bi)
 }
@@ -103,10 +128,14 @@ func (t *TrainingCache) finishTraining() {
 
 func (t *TrainingCache) rebuild() {
 	if t.tc != nil {
-		t.tc.Close()
+		t.tc.Close() // cancels fills in flight for the stale branch set
 	}
 	t.reader.DropCache()
-	t.tc = NewTreeCache(t.reader, t.window, t.UsedBranches())
+	t.tc = NewTreeCacheDepth(t.reader, t.window, t.UsedBranches(), t.depth)
+	t.pos = make(map[int]int, len(t.tc.branches))
+	for i, ubi := range t.tc.branches {
+		t.pos[ubi] = i
+	}
 }
 
 // Fills reports the vectored fill count of the post-training cache.
@@ -115,6 +144,15 @@ func (t *TrainingCache) Fills() int64 {
 		return 0
 	}
 	return t.tc.Fills()
+}
+
+// PrefetchStats reports the post-training pipeline's speculation
+// accounting (see TreeCache.PrefetchStats).
+func (t *TrainingCache) PrefetchStats() (issued, wasted, cancelled int64) {
+	if t.tc == nil {
+		return 0, 0, 0
+	}
+	return t.tc.PrefetchStats()
 }
 
 // Close releases the underlying TreeCache.

@@ -1,7 +1,9 @@
 package rootio
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"godavix/internal/rangev"
 )
@@ -9,35 +11,66 @@ import (
 // TreeCache gathers the baskets needed by the next window of events into a
 // single vectored read — the TTreeCache role in the paper's Figure 3. The
 // davix path turns the gathered request into one HTTP multi-range query;
-// the xrootd path into one readv. When the Source supports asynchronous
-// vectored reads, the next window is prefetched while the current one is
-// being processed (double buffering), which hides the round-trip latency
-// on high-RTT links.
+// the xrootd path into one readv.
+//
+// With a prefetch depth D > 0 the cache runs the windows as a pipeline:
+// while the reader processes window W, the fills for windows W+1..W+D are
+// already in flight as background coalesced vectored reads, so transfer
+// overlaps decode/compute exactly like the xrootd async path. A depth of 0
+// is the synchronous cache of the paper's HTTP column: every fill is one
+// blocking round trip, byte-for-byte the legacy behaviour.
 type TreeCache struct {
 	reader   *Reader
 	branches []int
 	window   uint64 // events per fill
-	prefetch bool
+	depth    int    // windows prefetched ahead; 0 = synchronous fills
 
 	curStart uint64 // first event of the filled window; curStart==^0 when none
 	fills    int64
 
-	next *pendingFill
+	// pending holds the in-flight speculative fills for windows after the
+	// current one, in ascending window order.
+	pending []*pendingFill
+
+	// Speculation accounting: issued counts compressed bytes requested by
+	// pipelined (non-demand) fills, wasted the issued bytes discarded
+	// before any event consumed them, cancelled the fills cut mid-flight
+	// by a pattern jump, a retrain rebuild, or Close.
+	issuedBytes    int64
+	wastedBytes    int64
+	cancelledFills int64
 }
 
 // pendingFill is an in-flight asynchronous window fetch.
 type pendingFill struct {
 	start uint64
 	keys  []basketKey
-	dsts  [][]byte
+	dsts  [][]byte // per-key views, aligned with keys
+	bytes int64
 	done  <-chan error
+	// cancel aborts the underlying fetch when the window is retired before
+	// its fill is consumed (nil for fills on non-cancellable sources).
+	cancel context.CancelFunc
 }
 
 // NewTreeCache creates a TreeCache over r reading the given branch
 // positions (nil = all branches) with the given window size in events
-// (0 selects 1000). Prefetching activates automatically when the Source
-// provides ReadVecAsync.
+// (0 selects 1000). The prefetch depth is automatic: one window ahead when
+// the Source provides an asynchronous vectored read, zero (synchronous)
+// otherwise — the legacy behaviour. Use NewTreeCacheDepth to pipeline
+// deeper.
 func NewTreeCache(r *Reader, windowEvents uint64, branches []int) *TreeCache {
+	return NewTreeCacheDepth(r, windowEvents, branches, -1)
+}
+
+// NewTreeCacheDepth creates a TreeCache with an explicit prefetch depth:
+// the number of windows beyond the current one kept in flight. Depth 0
+// disables speculation entirely — fills are synchronous and byte-identical
+// to the legacy TreeCache. A negative depth selects the automatic default
+// (1 with an asynchronous source, else 0). A positive depth needs the
+// Source to support asynchronous or hinted prefetch; without either it
+// degrades to 0.
+func NewTreeCacheDepth(r *Reader, windowEvents uint64, branches []int, depth int) *TreeCache {
 	if windowEvents == 0 {
 		windowEvents = 1000
 	}
@@ -47,11 +80,22 @@ func NewTreeCache(r *Reader, windowEvents uint64, branches []int) *TreeCache {
 			branches[i] = i
 		}
 	}
+	async := r.src.ReadVecAsyncCtx != nil || r.src.ReadVecAsync != nil
+	if depth < 0 {
+		if async {
+			depth = 1
+		} else {
+			depth = 0
+		}
+	}
+	if depth > 0 && !async && r.src.Hint == nil {
+		depth = 0
+	}
 	return &TreeCache{
 		reader:   r,
 		branches: branches,
 		window:   windowEvents,
-		prefetch: r.src.ReadVecAsync != nil,
+		depth:    depth,
 		curStart: ^uint64(0),
 	}
 }
@@ -59,6 +103,16 @@ func NewTreeCache(r *Reader, windowEvents uint64, branches []int) *TreeCache {
 // Fills reports how many window fetches have been issued (each is one
 // network round trip on the davix path).
 func (tc *TreeCache) Fills() int64 { return tc.fills }
+
+// Depth reports the effective prefetch depth.
+func (tc *TreeCache) Depth() int { return tc.depth }
+
+// PrefetchStats reports the speculation accounting: compressed bytes
+// issued by pipelined window fills, issued bytes discarded before any
+// event consumed them, and fills cancelled mid-flight.
+func (tc *TreeCache) PrefetchStats() (issued, wasted, cancelled int64) {
+	return tc.issuedBytes, tc.wastedBytes, tc.cancelledFills
+}
 
 // windowKeys computes the basket set covering events [start, start+window).
 func (tc *TreeCache) windowKeys(start uint64) ([]basketKey, error) {
@@ -83,29 +137,95 @@ func (tc *TreeCache) windowKeys(start uint64) ([]basketKey, error) {
 	return keys, nil
 }
 
-// startFill begins fetching the window at start, asynchronously when the
-// source allows it.
-func (tc *TreeCache) startFill(start uint64) (*pendingFill, error) {
+// startFillSync fetches the window at start with one blocking vectored
+// read, one range per basket — the legacy synchronous fill, preserved
+// byte-for-byte for depth 0.
+func (tc *TreeCache) startFillSync(start uint64) (*pendingFill, error) {
 	keys, err := tc.windowKeys(start)
 	if err != nil {
 		return nil, err
 	}
 	ranges := make([]rangev.Range, len(keys))
 	dsts := make([][]byte, len(keys))
+	var total int64
 	for i, k := range keys {
 		b := tc.reader.idx.Branches[k.branch].Baskets[k.basket]
 		ranges[i] = rangev.Range{Off: b.Offset, Len: b.CompressedSize}
 		dsts[i] = make([]byte, b.CompressedSize)
+		total += b.CompressedSize
 	}
 	tc.fills++
-	pf := &pendingFill{start: start, keys: keys, dsts: dsts}
-	if tc.prefetch {
-		pf.done = tc.reader.src.ReadVecAsync(ranges, dsts)
-		return pf, nil
-	}
+	pf := &pendingFill{start: start, keys: keys, dsts: dsts, bytes: total}
 	ch := make(chan error, 1)
 	ch <- tc.reader.src.ReadVec(ranges, dsts)
 	pf.done = ch
+	return pf, nil
+}
+
+// coalesceFill lays the window's baskets out as merged read ranges:
+// baskets adjacent on disk share one contiguous buffer (and thus one range
+// of the vectored request), and each basket's destination is a view into
+// its run buffer — no second copy when the fill lands.
+func coalesceFill(r *Reader, keys []basketKey) (ranges []rangev.Range, runDsts [][]byte, perKey [][]byte, total int64) {
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ba := r.idx.Branches[keys[order[a]].branch].Baskets[keys[order[a]].basket]
+		bb := r.idx.Branches[keys[order[b]].branch].Baskets[keys[order[b]].basket]
+		return ba.Offset < bb.Offset
+	})
+	perKey = make([][]byte, len(keys))
+	type run struct {
+		off, ln int64
+		members []int // key indices in disk order
+	}
+	var runs []run
+	for _, ki := range order {
+		b := r.idx.Branches[keys[ki].branch].Baskets[keys[ki].basket]
+		total += b.CompressedSize
+		if n := len(runs); n > 0 && runs[n-1].off+runs[n-1].ln == b.Offset {
+			runs[n-1].ln += b.CompressedSize
+			runs[n-1].members = append(runs[n-1].members, ki)
+			continue
+		}
+		runs = append(runs, run{off: b.Offset, ln: b.CompressedSize, members: []int{ki}})
+	}
+	ranges = make([]rangev.Range, len(runs))
+	runDsts = make([][]byte, len(runs))
+	for i, ru := range runs {
+		buf := make([]byte, ru.ln)
+		ranges[i] = rangev.Range{Off: ru.off, Len: ru.ln}
+		runDsts[i] = buf
+		var at int64
+		for _, ki := range ru.members {
+			b := r.idx.Branches[keys[ki].branch].Baskets[keys[ki].basket]
+			perKey[ki] = buf[at : at+b.CompressedSize]
+			at += b.CompressedSize
+		}
+	}
+	return ranges, runDsts, perKey, total
+}
+
+// startFillAsync begins fetching the window at start in the background,
+// with adjacent basket ranges merged into contiguous reads and a cancel
+// handle for retiring the window before the fill lands.
+func (tc *TreeCache) startFillAsync(start uint64) (*pendingFill, error) {
+	keys, err := tc.windowKeys(start)
+	if err != nil {
+		return nil, err
+	}
+	ranges, runDsts, perKey, total := coalesceFill(tc.reader, keys)
+	tc.fills++
+	pf := &pendingFill{start: start, keys: keys, dsts: perKey, bytes: total}
+	if tc.reader.src.ReadVecAsyncCtx != nil {
+		ctx, cancel := context.WithCancel(context.Background())
+		pf.cancel = cancel
+		pf.done = tc.reader.src.ReadVecAsyncCtx(ctx, ranges, runDsts)
+	} else {
+		pf.done = tc.reader.src.ReadVecAsync(ranges, runDsts)
+	}
 	return pf, nil
 }
 
@@ -117,10 +237,20 @@ func (tc *TreeCache) finishFill(pf *pendingFill) error {
 	return tc.reader.decodeInto(pf.keys, pf.dsts)
 }
 
+// discard retires an unconsumed speculative fill: the fetch is cancelled
+// (when the source allows it) and its bytes are booked as waste.
+func (tc *TreeCache) discard(pf *pendingFill) {
+	if pf.cancel != nil {
+		pf.cancel()
+	}
+	tc.cancelledFills++
+	tc.wastedBytes += pf.bytes
+}
+
 // Event returns the selected branches' payloads for event ev. Sequential
-// iteration is the optimized path: entering a new window triggers one
-// vectored fill and (with prefetch) the asynchronous fill of the window
-// after it.
+// iteration is the optimized path: entering a new window consumes its
+// pipelined fill (or triggers one vectored fetch) and tops the pipeline
+// back up to the configured depth.
 func (tc *TreeCache) Event(ev uint64) ([][]byte, error) {
 	if ev >= tc.reader.idx.Events {
 		return nil, fmt.Errorf("rootio: event %d out of range", ev)
@@ -134,39 +264,48 @@ func (tc *TreeCache) Event(ev uint64) ([][]byte, error) {
 	return tc.reader.ReadEvent(ev, tc.branches)
 }
 
-// enterWindow makes ws the current window: uses the prefetched fill when it
-// matches, otherwise fetches synchronously; then kicks off the next
-// window's prefetch.
+// enterWindow makes ws the current window: uses the matching pipelined
+// fill when one is in flight, cancels fills the access pattern jumped
+// away from, tops the pipeline back up, then awaits and decodes ws.
 func (tc *TreeCache) enterWindow(ws uint64) error {
 	// Evict the previous window's decoded baskets to bound memory.
 	tc.reader.DropCache()
 
+	// Partition the in-flight fills: the one for ws is consumed, fills
+	// still inside the new lookahead stay, everything else was a pattern
+	// jump and is cancelled mid-flight.
 	var cur *pendingFill
-	if tc.next != nil && tc.next.start == ws {
-		cur = tc.next
-		tc.next = nil
-	} else {
-		// Discard a mismatched prefetch (random access pattern).
-		if tc.next != nil {
-			<-tc.next.done
-			tc.next = nil
+	horizon := ws + tc.window*uint64(tc.depth)
+	keep := tc.pending[:0]
+	for _, pf := range tc.pending {
+		switch {
+		case pf.start == ws:
+			cur = pf
+		case pf.start > ws && pf.start <= horizon:
+			keep = append(keep, pf)
+		default:
+			tc.discard(pf)
 		}
-		pf, err := tc.startFill(ws)
+	}
+	tc.pending = keep
+
+	var err error
+	if cur == nil {
+		if tc.depth > 0 && tc.asyncCapable() {
+			cur, err = tc.startFillAsync(ws)
+		} else {
+			cur, err = tc.startFillSync(ws)
+		}
 		if err != nil {
 			return err
 		}
-		cur = pf
+	} else {
+		tc.consumeIssued(cur)
 	}
 
-	// Overlap: start fetching the next window before decoding this one.
-	if tc.prefetch {
-		if nxt := ws + tc.window; nxt < tc.reader.idx.Events {
-			pf, err := tc.startFill(nxt)
-			if err == nil {
-				tc.next = pf
-			}
-		}
-	}
+	// Overlap: top the pipeline back up before decoding this window, so
+	// the next windows' transfers ride under this window's compute.
+	tc.topUp(ws)
 
 	if err := tc.finishFill(cur); err != nil {
 		return err
@@ -175,10 +314,71 @@ func (tc *TreeCache) enterWindow(ws uint64) error {
 	return nil
 }
 
-// Close abandons any in-flight prefetch.
-func (tc *TreeCache) Close() {
-	if tc.next != nil {
-		<-tc.next.done
-		tc.next = nil
+// consumeIssued marks a speculative fill as consumed (its bytes were not
+// wasted). Bytes are booked at issue time; nothing to do beyond the hook
+// point, kept for symmetry and future accounting.
+func (tc *TreeCache) consumeIssued(*pendingFill) {}
+
+// asyncCapable reports whether the source supports background fills.
+func (tc *TreeCache) asyncCapable() bool {
+	return tc.reader.src.ReadVecAsyncCtx != nil || tc.reader.src.ReadVecAsync != nil
+}
+
+// topUp issues speculative fills (or layout hints) for the windows
+// following ws until the pipeline holds depth windows.
+func (tc *TreeCache) topUp(ws uint64) {
+	if tc.depth <= 0 {
+		return
 	}
+	async := tc.asyncCapable()
+	var hinted []rangev.Range
+	for d := 1; d <= tc.depth; d++ {
+		nxt := ws + tc.window*uint64(d)
+		if nxt >= tc.reader.idx.Events {
+			break
+		}
+		if tc.pendingFor(nxt) != nil {
+			continue
+		}
+		if async {
+			pf, err := tc.startFillAsync(nxt)
+			if err != nil {
+				return // demand fill will surface the problem when reached
+			}
+			tc.issuedBytes += pf.bytes
+			tc.pending = append(tc.pending, pf)
+			continue
+		}
+		// Hint-only source: hand the upcoming basket layout to the
+		// planner-backed read-ahead instead of fetching ourselves.
+		keys, err := tc.windowKeys(nxt)
+		if err != nil {
+			return
+		}
+		for _, k := range keys {
+			b := tc.reader.idx.Branches[k.branch].Baskets[k.basket]
+			hinted = append(hinted, rangev.Range{Off: b.Offset, Len: b.CompressedSize})
+		}
+	}
+	if len(hinted) > 0 && tc.reader.src.Hint != nil {
+		tc.reader.src.Hint(hinted)
+	}
+}
+
+// pendingFor returns the in-flight fill for the window at start, if any.
+func (tc *TreeCache) pendingFor(start uint64) *pendingFill {
+	for _, pf := range tc.pending {
+		if pf.start == start {
+			return pf
+		}
+	}
+	return nil
+}
+
+// Close abandons and cancels any in-flight prefetch.
+func (tc *TreeCache) Close() {
+	for _, pf := range tc.pending {
+		tc.discard(pf)
+	}
+	tc.pending = nil
 }
